@@ -1,0 +1,89 @@
+// Command lossim runs a packet-level loss-trace scenario (the paper's NS-2
+// or Dummynet setup) and writes the bottleneck drop trace as CSV to stdout
+// or a file. Analyze the trace with cmd/lossstat.
+//
+// Usage:
+//
+//	lossim -env ns2 -flows 16 -duration 60s -seed 1 -o trace.csv
+//	lossim -env dummynet -flows-per-class 4 -duration 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		env      = flag.String("env", "ns2", "environment: ns2 (Figure 2) or dummynet (Figure 3)")
+		flows    = flag.Int("flows", 16, "TCP flows (ns2)")
+		perClass = flag.Int("flows-per-class", 4, "flows per RTT class (dummynet)")
+		duration = flag.Duration("duration", 60*time.Second, "simulated duration")
+		warmup   = flag.Duration("warmup", 10*time.Second, "warmup excluded from the trace")
+		buffer   = flag.Float64("buffer-bdp", 0.5, "bottleneck buffer as a fraction of BDP (paper sweeps 1/8..2)")
+		noise    = flag.Float64("noise", 0.10, "on-off noise load as a fraction of capacity")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		out      = flag.String("o", "-", "output file for the CSV trace ('-' = stdout)")
+		summary  = flag.Bool("summary", true, "print the burstiness summary to stderr")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var res *core.ScenarioResult
+	var err error
+	switch *env {
+	case "ns2":
+		res, err = core.RunFigure2(core.Fig2Config{
+			Seed:          *seed,
+			Flows:         *flows,
+			BufferBDPFrac: *buffer,
+			NoiseFraction: *noise,
+			Duration:      sim.Dur(*duration),
+			Warmup:        sim.Dur(*warmup),
+		})
+	case "dummynet":
+		res, err = core.RunFigure3(core.Fig3Config{
+			Seed:          *seed,
+			FlowsPerClass: *perClass,
+			BufferBDPFrac: *buffer,
+			NoiseFraction: *noise,
+			Duration:      sim.Dur(*duration),
+			Warmup:        sim.Dur(*warmup),
+		})
+	default:
+		fatal(fmt.Errorf("unknown -env %q (want ns2 or dummynet)", *env))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Trace.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	if *summary {
+		r := res.Report
+		fmt.Fprintf(os.Stderr,
+			"env=%s drops=%d mean_rtt=%v lambda=%.2f/RTT frac<0.01RTT=%.3f frac<1RTT=%.3f CoV=%.1f IoD=%.1f\n",
+			*env, res.Drops, res.MeanRTT, r.Lambda, r.FracBelow001, r.FracBelow1,
+			r.CoV, r.IndexOfDispersion)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lossim:", err)
+	os.Exit(1)
+}

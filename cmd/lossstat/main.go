@@ -1,0 +1,64 @@
+// Command lossstat analyzes a loss trace (CSV from cmd/lossim) into the
+// paper's inter-loss-interval PDF and burstiness summary.
+//
+// Usage:
+//
+//	lossstat -rtt 200ms trace.csv          # PDF rows to stdout
+//	lossstat -rtt 200ms -ascii trace.csv   # terminal plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		rtt   = flag.Duration("rtt", 100*time.Millisecond, "RTT used to normalize intervals")
+		bin   = flag.Float64("bin", 0.02, "PDF bin width in RTT units")
+		rng   = flag.Float64("range", 2.0, "PDF range in RTT units")
+		ascii = flag.Bool("ascii", false, "render an ASCII log-scale plot instead of rows")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lossstat [flags] trace.csv")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.ReadCSV(f)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := analysis.AnalyzeTrace(rec, sim.Dur(*rtt), analysis.Config{
+		BinWidth:    *bin,
+		MaxInterval: *rng,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *ascii {
+		err = core.WriteASCIIPDF(os.Stdout, rep, 25)
+	} else {
+		err = core.WritePDF(os.Stdout, rep)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lossstat:", err)
+	os.Exit(1)
+}

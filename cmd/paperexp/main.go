@@ -1,0 +1,217 @@
+// Command paperexp regenerates every table and figure of the paper as text
+// series. Each artifact has a sub-flag; -all runs the full evaluation with
+// paper-scale parameters (several minutes of wall time).
+//
+// Usage:
+//
+//	paperexp -fig 2          # Figure 2: NS-2 inter-loss PDF
+//	paperexp -fig 3          # Figure 3: Dummynet inter-loss PDF
+//	paperexp -fig 4          # Figure 4: PlanetLab inter-loss PDF
+//	paperexp -fig 5          # Eq. 1/2 visibility table (Figures 5/6 model)
+//	paperexp -fig 7          # Figure 7: pacing vs NewReno throughput
+//	paperexp -fig 8          # Figure 8: parallel transfer latency
+//	paperexp -fig 1          # Table 1: PlanetLab sites
+//	paperexp -xtfrc          # extension: TFRC vs NewReno competition
+//	paperexp -xecn           # extension: ECN signal coverage
+//	paperexp -all            # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/planetlab"
+	"repro/internal/sim"
+	"repro/internal/tcptrace"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "paper artifact to regenerate (1=Table 1, 2,3,4,7,8=figures, 5=Eq.1/2 table)")
+		all    = flag.Bool("all", false, "run everything")
+		xtfrc  = flag.Bool("xtfrc", false, "run the TFRC competition extension")
+		xecn   = flag.Bool("xecn", false, "run the ECN coverage extension")
+		xtrace = flag.Bool("xtrace", false, "run the TCP-trace methodology comparison")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+		quick  = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+		ascii  = flag.Bool("ascii", false, "ASCII plots for the PDF figures")
+	)
+	flag.Parse()
+
+	e := &executor{seed: *seed, quick: *quick, ascii: *ascii}
+	ran := false
+	run := func(cond bool, f func() error, name string) {
+		if !cond {
+			return
+		}
+		ran = true
+		fmt.Printf("==== %s ====\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run(*all || *fig == 1, e.table1, "Table 1: PlanetLab sites")
+	run(*all || *fig == 2, e.figure2, "Figure 2: inter-loss PDF (NS-2)")
+	run(*all || *fig == 3, e.figure3, "Figure 3: inter-loss PDF (Dummynet)")
+	run(*all || *fig == 4, e.figure4, "Figure 4: inter-loss PDF (PlanetLab)")
+	run(*all || *fig == 5 || *fig == 6, e.eq12, "Eq. 1/2: loss-event visibility")
+	run(*all || *fig == 7, e.figure7, "Figure 7: pacing vs NewReno")
+	run(*all || *fig == 8, e.figure8, "Figure 8: parallel-transfer latency")
+	run(*all || *xtfrc, e.tfrc, "Extension: TFRC vs NewReno")
+	run(*all || *xecn, e.ecn, "Extension: ECN signal coverage")
+	run(*all || *xtrace, e.tcptrace, "Future work: TCP-trace methodology")
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type executor struct {
+	seed  int64
+	quick bool
+	ascii bool
+}
+
+func (e *executor) dur(full, quick sim.Duration) sim.Duration {
+	if e.quick {
+		return quick
+	}
+	return full
+}
+
+func (e *executor) table1() error {
+	return core.WriteSites(os.Stdout, planetlab.Sites())
+}
+
+func (e *executor) figure2() error {
+	res, err := core.RunFigure2(core.Fig2Config{
+		Seed:     e.seed,
+		Flows:    16,
+		Duration: e.dur(120*sim.Second, 30*sim.Second),
+	})
+	if err != nil {
+		return err
+	}
+	if e.ascii {
+		return core.WriteASCIIPDF(os.Stdout, res.Report, 25)
+	}
+	return core.WritePDF(os.Stdout, res.Report)
+}
+
+func (e *executor) figure3() error {
+	res, err := core.RunFigure3(core.Fig3Config{
+		Seed:     e.seed,
+		Duration: e.dur(120*sim.Second, 30*sim.Second),
+	})
+	if err != nil {
+		return err
+	}
+	if e.ascii {
+		return core.WriteASCIIPDF(os.Stdout, res.Report, 25)
+	}
+	return core.WritePDF(os.Stdout, res.Report)
+}
+
+func (e *executor) figure4() error {
+	res, err := core.RunFigure4(core.Fig4Config{
+		Seed:     e.seed,
+		Paths:    ifQuick(e.quick, 12, 60),
+		Duration: e.dur(5*60*sim.Second, 30*sim.Second),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# paths: measured=%d validated=%d analyzed=%d losses=%d\n",
+		res.PathsMeasured, res.PathsValidated, res.PathsAnalyzed, res.TotalLosses)
+	if e.ascii {
+		return core.WriteASCIIPDF(os.Stdout, res.Report, 25)
+	}
+	return core.WritePDF(os.Stdout, res.Report)
+}
+
+func (e *executor) eq12() error {
+	rows := core.VisibilityTable(16, 10, []int{1, 2, 4, 8, 16, 32, 64, 128}, 2000, e.seed)
+	return core.WriteVisibilityTable(os.Stdout, rows)
+}
+
+func (e *executor) figure7() error {
+	res, err := core.RunFigure7(core.Fig7Config{
+		Seed:     e.seed,
+		Duration: e.dur(40*sim.Second, 20*sim.Second),
+	})
+	if err != nil {
+		return err
+	}
+	return core.WriteFig7(os.Stdout, res, sim.Second)
+}
+
+func (e *executor) figure8() error {
+	cfg := core.Fig8Config{Seed: e.seed}
+	if e.quick {
+		cfg.TotalBytes = 8 << 20
+		cfg.Runs = 3
+	}
+	res := core.RunFigure8(cfg)
+	return core.WriteFig8(os.Stdout, res)
+}
+
+func (e *executor) tfrc() error {
+	res, err := core.RunTFRCCompetition(core.TFRCCompConfig{
+		Seed:     e.seed,
+		Duration: e.dur(60*sim.Second, 20*sim.Second),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("newreno_bytes=%d tfrc_bytes=%d deficit=%.1f%% tfrc_loss_rate=%.4f\n",
+		res.NewRenoBytes, res.TFRCBytes, 100*res.Deficit, res.TFRCLossRate)
+	return nil
+}
+
+func (e *executor) ecn() error {
+	fmt.Println("# mode\tcoverage\tepochs\tpkts\tfairness")
+	for _, mode := range []core.ECNMode{core.ModeDropTail, core.ModeRedECN, core.ModePersistentECN} {
+		res, err := core.RunECNCoverage(core.ECNCoverageConfig{
+			Seed:     e.seed,
+			Duration: e.dur(30*sim.Second, 15*sim.Second),
+		}, mode)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v\t%.2f\t%d\t%d\t%.3f\n",
+			mode, res.CoverageFraction, res.Epochs, res.AggregatePkts, res.FairnessIndex)
+	}
+	return nil
+}
+
+func (e *executor) tcptrace() error {
+	res, err := tcptrace.Run(tcptrace.Config{
+		Seed:     e.seed,
+		Flows:    16,
+		Duration: e.dur(60*sim.Second, 20*sim.Second),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("true_drops=%d tcp_trace_events=%d\n", res.Drops, res.Retransmissions)
+	fmt.Printf("truth:     frac<0.01RTT=%.3f CoV=%.1f\n",
+		res.Truth.FracBelow001, res.Truth.CoV)
+	fmt.Printf("tcp-trace: frac<0.01RTT=%.3f CoV=%.1f\n",
+		res.FromTCP.FracBelow001, res.FromTCP.CoV)
+	return nil
+}
+
+func ifQuick(quick bool, a, b int) int {
+	if quick {
+		return a
+	}
+	return b
+}

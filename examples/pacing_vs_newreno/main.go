@@ -1,0 +1,56 @@
+// Pacing vs NewReno: the paper's Figure 7 scenario as a library example.
+// Sixteen TCP Pacing flows and sixteen TCP NewReno flows share a 100 Mbps,
+// 50 ms bottleneck; because the loss process is bursty at sub-RTT scale,
+// the evenly-spaced pacing flows detect more loss events and end up with
+// less throughput.
+//
+//	go run ./examples/pacing_vs_newreno
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	res, err := core.RunFigure7(core.Fig7Config{
+		Seed:          42,
+		FlowsPerClass: 16,
+		Duration:      40 * sim.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pacing_vs_newreno:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("aggregate delivered: newreno=%d pkts, paced=%d pkts\n",
+		res.NewRenoTotalPkts, res.PacedTotalPkts)
+	fmt.Printf("pacing deficit:      %.1f%%   (paper observed ≈17%%)\n", 100*res.Deficit)
+	fmt.Printf("congestion events:   newreno=%d, paced=%d\n\n",
+		res.NewRenoCongestionEvents, res.PacedCongestionEvents)
+
+	fmt.Println("aggregate throughput over time (Mbps, 1 s bins):")
+	fmt.Println("  t(s)  newreno  paced")
+	n := len(res.NewRenoMbps)
+	if len(res.PacedMbps) < n {
+		n = len(res.PacedMbps)
+	}
+	for i := 0; i < n; i++ {
+		bar := func(v float64) string {
+			w := int(v / 2)
+			if w < 0 {
+				w = 0
+			}
+			if w > 50 {
+				w = 50
+			}
+			return strings.Repeat("#", w)
+		}
+		fmt.Printf("  %3d  %6.1f  %6.1f  |%s\n", i, res.NewRenoMbps[i], res.PacedMbps[i],
+			bar(res.PacedMbps[i]))
+	}
+}

@@ -1,0 +1,235 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// ShuffleConfig models the paper's future-work workload (§6): the
+// all-to-all shuffle of a MapReduce job. M mapper hosts each transfer a
+// partition to every one of R reducer hosts — M·R simultaneous TCP flows
+// crossing a shared core and contending again on each reducer's access
+// link (the classic incast pattern).
+type ShuffleConfig struct {
+	Mappers  int // default 8
+	Reducers int // default 8
+	// BytesPerPartition is the volume of each mapper→reducer transfer
+	// (default 2 MB).
+	BytesPerPartition int64
+	PktSize           int // default 1000
+
+	CoreRate   int64 // shared core capacity (default 1 Gbps)
+	AccessRate int64 // per-host access capacity (default 100 Mbps)
+
+	// RTT is the base host-to-host round trip (default 10 ms, a
+	// datacenter-ish value scaled up so sub-RTT effects are visible).
+	RTT sim.Duration
+
+	// Paced selects the rate-based implementation for all flows.
+	Paced bool
+
+	// Timeout bounds the run (default 10 simulated minutes).
+	Timeout sim.Duration
+}
+
+func (c *ShuffleConfig) fillDefaults() {
+	if c.Mappers == 0 {
+		c.Mappers = 8
+	}
+	if c.Reducers == 0 {
+		c.Reducers = 8
+	}
+	if c.BytesPerPartition == 0 {
+		c.BytesPerPartition = 2 << 20
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+	if c.CoreRate == 0 {
+		c.CoreRate = 1_000_000_000
+	}
+	if c.AccessRate == 0 {
+		c.AccessRate = 100_000_000
+	}
+	if c.RTT == 0 {
+		c.RTT = 10 * sim.Millisecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * 60 * sim.Second
+	}
+}
+
+// ShuffleResult reports one shuffle execution.
+type ShuffleResult struct {
+	// Completion is when the last flow finished (the shuffle makespan).
+	Completion sim.Duration
+	// PerReducer is each reducer's last-flow completion time.
+	PerReducer []sim.Duration
+	// LowerBound is the per-reducer volume divided by the reducer access
+	// rate — the floor set by the incast bottleneck.
+	LowerBound sim.Duration
+	// Finished reports whether every flow completed before Timeout.
+	Finished bool
+	// Straggler is max(PerReducer)/min(PerReducer): the imbalance bursty
+	// loss induces between identical reducers.
+	Straggler float64
+	// CongestionEvents and Timeouts total across flows.
+	CongestionEvents uint64
+	Timeouts         uint64
+}
+
+// Normalized returns Completion/LowerBound.
+func (r ShuffleResult) Normalized() float64 {
+	if r.LowerBound <= 0 {
+		return 0
+	}
+	return float64(r.Completion) / float64(r.LowerBound)
+}
+
+// Addressing for the shuffle topology.
+const (
+	shuffleLeftAddr  = 1
+	shuffleRightAddr = 2
+	mapperAddrBase   = 1000
+	reducerAddrBase  = 2000
+)
+
+// RunShuffle executes one all-to-all shuffle.
+func RunShuffle(cfg ShuffleConfig) ShuffleResult {
+	cfg.fillDefaults()
+	if cfg.Mappers <= 0 || cfg.Reducers <= 0 {
+		panic(fmt.Sprintf("apps: bad shuffle config %+v", cfg))
+	}
+	sched := sim.NewScheduler()
+
+	left := netsim.NewNode(sched, shuffleLeftAddr)
+	right := netsim.NewNode(sched, shuffleRightAddr)
+
+	half := cfg.RTT / 4 // four access-link crossings per RTT
+	coreBuf := netsim.BDP(cfg.CoreRate, cfg.RTT, cfg.PktSize) / 2
+	if coreBuf < 16 {
+		coreBuf = 16
+	}
+	coreFwd := netsim.NewPort(sched, netsim.NewDropTail(coreBuf),
+		netsim.NewLink(cfg.CoreRate, 0, right))
+	coreRev := netsim.NewPort(sched, netsim.NewDropTail(coreBuf),
+		netsim.NewLink(cfg.CoreRate, 0, left))
+
+	accessBuf := netsim.BDP(cfg.AccessRate, cfg.RTT, cfg.PktSize) / 2
+	if accessBuf < 16 {
+		accessBuf = 16
+	}
+
+	mapperNodes := make([]*netsim.Node, cfg.Mappers)
+	for m := 0; m < cfg.Mappers; m++ {
+		addr := mapperAddrBase + m
+		node := netsim.NewNode(sched, addr)
+		up := netsim.NewPort(sched, netsim.NewDropTail(accessBuf),
+			netsim.NewLink(cfg.AccessRate, half, left))
+		down := netsim.NewPort(sched, netsim.NewDropTail(accessBuf),
+			netsim.NewLink(cfg.AccessRate, half, node))
+		for r := 0; r < cfg.Reducers; r++ {
+			node.AddRoute(reducerAddrBase+r, up)
+		}
+		left.AddRoute(addr, down)
+		right.AddRoute(addr, coreRev)
+		mapperNodes[m] = node
+	}
+
+	reducerNodes := make([]*netsim.Node, cfg.Reducers)
+	reducerDown := make([]*netsim.Port, cfg.Reducers)
+	for r := 0; r < cfg.Reducers; r++ {
+		addr := reducerAddrBase + r
+		node := netsim.NewNode(sched, addr)
+		// The reducer's downlink: where the incast contention happens.
+		down := netsim.NewPort(sched, netsim.NewDropTail(accessBuf),
+			netsim.NewLink(cfg.AccessRate, half, node))
+		up := netsim.NewPort(sched, netsim.NewDropTail(accessBuf),
+			netsim.NewLink(cfg.AccessRate, half, right))
+		for m := 0; m < cfg.Mappers; m++ {
+			node.AddRoute(mapperAddrBase+m, up)
+		}
+		right.AddRoute(addr, down)
+		left.AddRoute(addr, coreFwd)
+		reducerDown[r] = down
+		reducerNodes[r] = node
+	}
+
+	// One TCP flow per (mapper, reducer) pair.
+	pkts := (cfg.BytesPerPartition + int64(cfg.PktSize) - 1) / int64(cfg.PktSize)
+	type flowRef struct {
+		snd     *tcp.Sender
+		reducer int
+	}
+	var flows []flowRef
+	remaining := cfg.Mappers * cfg.Reducers
+	for m := 0; m < cfg.Mappers; m++ {
+		for r := 0; r < cfg.Reducers; r++ {
+			flowID := m*cfg.Reducers + r + 1
+			c := tcp.Config{
+				Flow:         flowID,
+				Src:          mapperAddrBase + m,
+				Dst:          reducerAddrBase + r,
+				PktSize:      cfg.PktSize,
+				TotalPackets: pkts,
+				Paced:        cfg.Paced,
+				InitialRTT:   cfg.RTT,
+			}
+			snd := tcp.NewSender(sched, mapperNodes[m], c)
+			rcv := tcp.NewReceiver(sched, reducerNodes[r], flowID,
+				c.Dst, c.Src, 40)
+			reducerNodes[r].Bind(flowID, rcv)
+			mapperNodes[m].Bind(flowID, snd)
+			snd.OnComplete = func(at sim.Time) {
+				remaining--
+				if remaining == 0 {
+					sched.Halt()
+				}
+			}
+			flows = append(flows, flowRef{snd, r})
+		}
+	}
+	// Stagger starts over a few ms, as real shuffle fetches do.
+	for i, f := range flows {
+		snd := f.snd
+		sched.At(sim.Time(sim.Duration(i)*sim.Millisecond/4), snd.Start)
+	}
+
+	sched.RunUntil(sim.Time(cfg.Timeout))
+
+	res := ShuffleResult{
+		PerReducer: make([]sim.Duration, cfg.Reducers),
+		LowerBound: sim.Duration(float64(cfg.BytesPerPartition*int64(cfg.Mappers)*8) /
+			float64(cfg.AccessRate) * float64(sim.Second)),
+		Finished: true,
+	}
+	for _, f := range flows {
+		done := sim.Duration(cfg.Timeout)
+		if f.snd.Done() {
+			done = sim.Duration(f.snd.CompletedAt)
+		} else {
+			res.Finished = false
+		}
+		if done > res.PerReducer[f.reducer] {
+			res.PerReducer[f.reducer] = done
+		}
+		if done > res.Completion {
+			res.Completion = done
+		}
+		res.CongestionEvents += f.snd.CongestionEvents
+		res.Timeouts += f.snd.Timeouts
+	}
+	minR := res.PerReducer[0]
+	for _, d := range res.PerReducer {
+		if d < minR {
+			minR = d
+		}
+	}
+	if minR > 0 {
+		res.Straggler = float64(res.Completion) / float64(minR)
+	}
+	return res
+}

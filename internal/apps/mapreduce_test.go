@@ -1,0 +1,105 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func shuffleCfg() ShuffleConfig {
+	return ShuffleConfig{
+		Mappers:           4,
+		Reducers:          4,
+		BytesPerPartition: 512 << 10, // 512 KB keeps tests quick
+		RTT:               10 * sim.Millisecond,
+	}
+}
+
+func TestShuffleCompletes(t *testing.T) {
+	r := RunShuffle(shuffleCfg())
+	if !r.Finished {
+		t.Fatal("shuffle did not finish")
+	}
+	if r.Completion < r.LowerBound {
+		t.Fatalf("completed below the incast floor: %v < %v", r.Completion, r.LowerBound)
+	}
+	if r.Normalized() < 1 || r.Normalized() > 30 {
+		t.Fatalf("normalized makespan = %v", r.Normalized())
+	}
+	if len(r.PerReducer) != 4 {
+		t.Fatalf("per-reducer entries = %d", len(r.PerReducer))
+	}
+	for i, d := range r.PerReducer {
+		if d <= 0 || d > r.Completion {
+			t.Fatalf("reducer %d completion %v out of range", i, d)
+		}
+	}
+	if r.Straggler < 1 {
+		t.Fatalf("straggler ratio = %v", r.Straggler)
+	}
+}
+
+func TestShuffleLowerBound(t *testing.T) {
+	cfg := shuffleCfg()
+	cfg.fillDefaults()
+	// Each reducer pulls Mappers × partition bytes through its access
+	// link: 4 × 512 KB × 8 bits / 100 Mbps ≈ 0.168 s.
+	r := RunShuffle(cfg)
+	want := 0.168
+	got := r.LowerBound.Seconds()
+	if got < 0.9*want || got > 1.1*want {
+		t.Fatalf("lower bound = %v s, want ≈ %v", got, want)
+	}
+}
+
+func TestShuffleIncastCausesLoss(t *testing.T) {
+	// With many mappers fanning into one reducer link, slow-start bursts
+	// must overflow the reducer's downlink buffer.
+	cfg := shuffleCfg()
+	cfg.Mappers = 8
+	cfg.Reducers = 2
+	r := RunShuffle(cfg)
+	if !r.Finished {
+		t.Fatal("unfinished")
+	}
+	if r.CongestionEvents == 0 {
+		t.Fatal("incast produced no congestion events")
+	}
+}
+
+func TestShuffleMoreReducersMoveMoreDataEfficiently(t *testing.T) {
+	// With R reducers every mapper emits R partitions, so the wide job
+	// moves 4× the bytes of the narrow one; parallel reducer links must
+	// keep the makespan well below 4× the narrow job's.
+	narrow := shuffleCfg()
+	narrow.Reducers = 1
+	wide := shuffleCfg()
+	wide.Reducers = 4
+	rn := RunShuffle(narrow)
+	rw := RunShuffle(wide)
+	if !rn.Finished || !rw.Finished {
+		t.Fatal("unfinished")
+	}
+	if rw.Completion >= 4*rn.Completion {
+		t.Fatalf("no parallel speedup per byte: wide=%v narrow=%v",
+			rw.Completion, rn.Completion)
+	}
+}
+
+func TestShufflePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunShuffle(ShuffleConfig{Mappers: -1})
+}
+
+func TestShuffleTimeoutReported(t *testing.T) {
+	cfg := shuffleCfg()
+	cfg.Timeout = sim.Millisecond
+	r := RunShuffle(cfg)
+	if r.Finished {
+		t.Fatal("impossible deadline finished")
+	}
+}

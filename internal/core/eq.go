@@ -1,0 +1,112 @@
+// Package core orchestrates the paper's experiments. Each figure and table
+// of the evaluation has a runner here that builds the scenario from the
+// substrate packages, executes it deterministically from a single seed,
+// and returns the series the paper plots. The analytic loss-visibility
+// model of Equations 1 and 2 lives here too, together with its empirical
+// validation.
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// LRateBased is the paper's Equation 1: the expected number of rate-based
+// flows that observe a loss event of M dropped packets when N flows share
+// the bottleneck — with perfectly interleaved (evenly spaced) packets,
+// every distinct flow in the burst window sees a drop.
+func LRateBased(m, n int) int {
+	if m < n {
+		return m
+	}
+	return n
+}
+
+// LWinBased is the paper's Equation 2: the expected number of window-based
+// flows that observe the same event when each flow's K packets per RTT
+// arrive as one contiguous clump — the burst of M drops covers only
+// ⌈M/K⌉ clumps.
+func LWinBased(m, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	l := float64(m) / float64(k)
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// VisibilityResult is one row of the Eq. 1/2 validation: analytic
+// prediction vs Monte Carlo measurement of how many flows detect a drop
+// burst.
+type VisibilityResult struct {
+	M, N, K int // burst size, flows, packets per flow per RTT
+
+	AnalyticRate float64 // eq. 1
+	AnalyticWin  float64 // eq. 2
+
+	EmpiricalRate float64 // measured, interleaved arrivals
+	EmpiricalWin  float64 // measured, clumped arrivals
+}
+
+// SimulateVisibility measures flow visibility empirically: N flows each
+// contribute K packets to one RTT's worth of arrivals at the bottleneck.
+// Rate-based arrivals interleave the flows (round-robin, the limit of
+// evenly spaced sending); window-based arrivals concatenate each flow's K
+// packets contiguously (the limit of back-to-back window bursts). A drop
+// burst of M consecutive packets lands at a uniformly random offset, and
+// we count how many distinct flows lose at least one packet, averaged
+// over trials.
+func SimulateVisibility(m, n, k, trials int, rng *rand.Rand) VisibilityResult {
+	if m <= 0 || n <= 0 || k <= 0 || trials <= 0 || rng == nil {
+		panic("core: SimulateVisibility requires positive parameters and rng")
+	}
+	res := VisibilityResult{
+		M: m, N: n, K: k,
+		AnalyticRate: float64(LRateBased(m, n)),
+		AnalyticWin:  LWinBased(m, k),
+	}
+	total := n * k
+	if m > total {
+		m = total
+	}
+
+	// Arrival orders: owner[i] = flow owning the i-th arrival.
+	interleaved := make([]int, total)
+	clumped := make([]int, total)
+	for i := 0; i < total; i++ {
+		interleaved[i] = i % n
+		clumped[i] = i / k
+	}
+
+	countDistinct := func(owner []int, offset int) int {
+		seen := make(map[int]struct{}, n)
+		for i := offset; i < offset+m; i++ {
+			seen[owner[i%total]] = struct{}{}
+		}
+		return len(seen)
+	}
+
+	var sumRate, sumWin float64
+	for t := 0; t < trials; t++ {
+		off := rng.Intn(total)
+		sumRate += float64(countDistinct(interleaved, off))
+		sumWin += float64(countDistinct(clumped, off))
+	}
+	res.EmpiricalRate = sumRate / float64(trials)
+	res.EmpiricalWin = sumWin / float64(trials)
+	return res
+}
+
+// VisibilityTable builds the Eq. 1/2 validation table over a sweep of
+// burst sizes, for fixed N and K.
+func VisibilityTable(n, k int, bursts []int, trials int, seed int64) []VisibilityResult {
+	rng := sim.NewRand(seed)
+	out := make([]VisibilityResult, 0, len(bursts))
+	for _, m := range bursts {
+		out = append(out, SimulateVisibility(m, n, k, trials, rng))
+	}
+	return out
+}

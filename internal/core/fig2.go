@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/crosstraffic"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Fig2Config reproduces the paper's NS-2 setup (Figure 1): a 100 Mbps
+// DropTail bottleneck shared by N TCP flows with access latencies drawn
+// uniformly from [2 ms, 200 ms], plus 50 two-way exponential on–off noise
+// flows averaging 10% of capacity.
+type Fig2Config struct {
+	Seed           int64
+	Flows          int          // 2, 4, 8, 16 or 32 in the paper
+	BottleneckRate int64        // default 100 Mbps
+	AccessLow      sim.Duration // default 2 ms
+	AccessHigh     sim.Duration // default 200 ms
+	// BufferBDPFrac sizes the bottleneck buffer as a fraction of the
+	// BDP at the mean RTT (paper sweeps 1/8 … 2; default 0.5).
+	BufferBDPFrac float64
+	NoiseFlows    int          // default 50
+	NoiseFraction float64      // default 0.10 of capacity
+	PktSize       int          // default 1000
+	Duration      sim.Duration // default 60 s
+	// Warmup discards drops before this time (slow-start transient).
+	Warmup sim.Duration // default 10 s
+	// StartSpread staggers flow starts uniformly over this window to
+	// avoid seeding artificial global synchronization (default 2 s).
+	StartSpread sim.Duration
+	// RED replaces the DropTail bottleneck with a RED queue (minTh =
+	// buffer/6, maxTh = buffer/2, maxP = 0.1) — the paper's suggested
+	// de-bursting remedy, used by the ablation bench.
+	RED bool
+}
+
+func (c *Fig2Config) fillDefaults() {
+	if c.Flows == 0 {
+		c.Flows = 16
+	}
+	if c.BottleneckRate == 0 {
+		c.BottleneckRate = 100_000_000
+	}
+	if c.AccessLow == 0 {
+		c.AccessLow = 2 * sim.Millisecond
+	}
+	if c.AccessHigh == 0 {
+		c.AccessHigh = 200 * sim.Millisecond
+	}
+	if c.BufferBDPFrac == 0 {
+		c.BufferBDPFrac = 0.5
+	}
+	if c.NoiseFlows == 0 {
+		c.NoiseFlows = 50
+	}
+	if c.NoiseFraction == 0 {
+		c.NoiseFraction = 0.10
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+	if c.Duration == 0 {
+		c.Duration = 60 * sim.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10 * sim.Second
+	}
+	if c.StartSpread == 0 {
+		c.StartSpread = 2 * sim.Second
+	}
+}
+
+// ScenarioResult is the outcome of one loss-trace scenario (Figures 2 and
+// 3 share it).
+type ScenarioResult struct {
+	Report  *analysis.Report // the inter-loss PDF analysis
+	Trace   *trace.Recorder  // raw drop trace (post-warmup)
+	MeanRTT sim.Duration     // normalization RTT
+	Bursts  analysis.BurstStats
+	Drops   int
+}
+
+// RunFigure2 executes the NS-2-style scenario and analyzes the bottleneck
+// drop trace.
+func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
+	cfg.fillDefaults()
+	sched := sim.NewScheduler()
+	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
+
+	delays := netsim.RandomAccessDelays(rng, cfg.Flows, cfg.AccessLow, cfg.AccessHigh)
+	var meanRTT sim.Duration
+	for _, d := range delays {
+		meanRTT += 2 * d
+	}
+	meanRTT /= sim.Duration(cfg.Flows)
+
+	buffer := int(cfg.BufferBDPFrac * float64(netsim.BDP(cfg.BottleneckRate, meanRTT, cfg.PktSize)))
+	if buffer < 8 {
+		buffer = 8
+	}
+
+	var queue netsim.Queue
+	if cfg.RED {
+		queue = netsim.NewRED(netsim.REDConfig{
+			Limit: buffer,
+			MinTh: float64(buffer) / 6,
+			MaxTh: float64(buffer) / 2,
+			MaxP:  0.1,
+			PacketsPerSecond: float64(cfg.BottleneckRate) /
+				float64(cfg.PktSize*8),
+		}, sim.NewRand(sim.SubSeed(cfg.Seed, 4)))
+	}
+	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+		BottleneckRate:  cfg.BottleneckRate,
+		BottleneckDelay: 0,
+		AccessRate:      1_000_000_000,
+		AccessDelays:    delays,
+		Buffer:          buffer,
+		Queue:           queue,
+	})
+
+	rec := &trace.Recorder{}
+	warm := sim.Time(cfg.Warmup)
+	d.Forward.OnDrop = func(p *netsim.Packet, at sim.Time) {
+		if at >= warm {
+			rec.Add(trace.LossEvent{At: at, Flow: p.Flow, Seq: p.Seq, Size: p.Size})
+		}
+	}
+
+	flows := make([]*tcp.Flow, cfg.Flows)
+	for i := range flows {
+		flows[i] = tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+			PktSize:         cfg.PktSize,
+			InitialRTT:      2 * delays[i],
+			InitialSSThresh: float64(buffer),
+		})
+	}
+	// Stagger starts to avoid a synthetic global synchronization at t=0.
+	for i, f := range flows {
+		f.StartAt(sched, sim.Time(sim.Duration(i)*cfg.StartSpread/sim.Duration(cfg.Flows)))
+	}
+
+	// Noise: two-way on–off UDP, absorbed by the routers' default sinks.
+	d.RightRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+	d.LeftRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+	fwdNoise := crosstraffic.NoiseSet(sched, d.Forward, cfg.NoiseFlows/2,
+		cfg.BottleneckRate, cfg.NoiseFraction/2, 100000,
+		netsim.SenderAddr(0), 2, sim.SubSeed(cfg.Seed, 2))
+	revNoise := crosstraffic.NoiseSet(sched, d.Reverse, cfg.NoiseFlows-cfg.NoiseFlows/2,
+		cfg.BottleneckRate, cfg.NoiseFraction/2, 200000,
+		netsim.ReceiverAddr(0), 1, sim.SubSeed(cfg.Seed, 3))
+	for _, nz := range fwdNoise {
+		nz.Start()
+	}
+	for _, nz := range revNoise {
+		nz.Start()
+	}
+
+	sched.RunUntil(sim.Time(cfg.Duration))
+
+	if rec.Len() < 2 {
+		return nil, fmt.Errorf("core: figure 2 scenario produced %d drops; increase duration or load", rec.Len())
+	}
+	report, err := analysis.AnalyzeTrace(rec, meanRTT, analysis.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Report:  report,
+		Trace:   rec,
+		MeanRTT: meanRTT,
+		Bursts:  analysis.SummarizeBursts(rec.Events(), meanRTT/4),
+		Drops:   rec.Len(),
+	}, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/crosstraffic"
+	"repro/internal/dummynet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Fig3Config reproduces the Dummynet emulation: the same dumbbell as
+// Figure 2, but (a) flow RTTs come from the paper's four fixed classes
+// {2, 10, 50, 200} ms, (b) the bottleneck adds per-packet processing
+// noise, and (c) the recorded drop timestamps are quantized to the
+// FreeBSD 1 ms clock.
+type Fig3Config struct {
+	Seed           int64
+	FlowsPerClass  int   // flows per RTT class (default 4 → 16 total)
+	BottleneckRate int64 // default 100 Mbps
+	BufferBDPFrac  float64
+	NoiseFlows     int
+	NoiseFraction  float64
+	PktSize        int
+	Duration       sim.Duration
+	Warmup         sim.Duration
+	StartSpread    sim.Duration
+	// ProcNoiseMax bounds the router processing jitter (default 100 µs).
+	ProcNoiseMax sim.Duration
+	// ClockResolution quantizes the loss trace (default 1 ms).
+	ClockResolution sim.Duration
+}
+
+// RTTClasses are the four Dummynet latency classes of the paper.
+var RTTClasses = []sim.Duration{
+	2 * sim.Millisecond,
+	10 * sim.Millisecond,
+	50 * sim.Millisecond,
+	200 * sim.Millisecond,
+}
+
+func (c *Fig3Config) fillDefaults() {
+	if c.FlowsPerClass == 0 {
+		c.FlowsPerClass = 4
+	}
+	if c.BottleneckRate == 0 {
+		c.BottleneckRate = 100_000_000
+	}
+	if c.BufferBDPFrac == 0 {
+		c.BufferBDPFrac = 0.5
+	}
+	if c.NoiseFlows == 0 {
+		c.NoiseFlows = 50
+	}
+	if c.NoiseFraction == 0 {
+		c.NoiseFraction = 0.10
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+	if c.Duration == 0 {
+		c.Duration = 60 * sim.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10 * sim.Second
+	}
+	if c.StartSpread == 0 {
+		c.StartSpread = 2 * sim.Second
+	}
+	if c.ProcNoiseMax == 0 {
+		c.ProcNoiseMax = 100 * sim.Microsecond
+	}
+	if c.ClockResolution == 0 {
+		c.ClockResolution = sim.Millisecond
+	}
+}
+
+// RunFigure3 executes the Dummynet-style scenario. The returned
+// ScenarioResult's trace holds the quantized timestamps (what the paper's
+// instrumented router logged).
+func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
+	cfg.fillDefaults()
+	sched := sim.NewScheduler()
+	noiseRng := sim.NewRand(sim.SubSeed(cfg.Seed, 11))
+
+	nFlows := cfg.FlowsPerClass * len(RTTClasses)
+	delays := make([]sim.Duration, nFlows)
+	var meanRTT sim.Duration
+	for i := range delays {
+		rtt := RTTClasses[i%len(RTTClasses)]
+		delays[i] = rtt / 2
+		meanRTT += rtt
+	}
+	meanRTT /= sim.Duration(nFlows)
+
+	buffer := int(cfg.BufferBDPFrac * float64(netsim.BDP(cfg.BottleneckRate, meanRTT, cfg.PktSize)))
+	if buffer < 8 {
+		buffer = 8
+	}
+
+	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+		BottleneckRate:  cfg.BottleneckRate,
+		BottleneckDelay: 0,
+		AccessRate:      1_000_000_000,
+		AccessDelays:    delays,
+		Buffer:          buffer,
+	})
+
+	// The Dummynet non-idealities: processing noise on the bottleneck and
+	// a quantizing drop recorder.
+	d.Forward.ProcNoise = netsim.UniformNoise(noiseRng, cfg.ProcNoiseMax)
+	rec := &trace.Recorder{}
+	warm := sim.Time(cfg.Warmup)
+	d.Forward.OnDrop = func(p *netsim.Packet, at sim.Time) {
+		if at >= warm {
+			rec.Add(trace.LossEvent{
+				At:   dummynet.Quantize(at, cfg.ClockResolution),
+				Flow: p.Flow, Seq: p.Seq, Size: p.Size,
+			})
+		}
+	}
+
+	flows := make([]*tcp.Flow, nFlows)
+	for i := range flows {
+		flows[i] = tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+			PktSize:         cfg.PktSize,
+			InitialRTT:      2 * delays[i],
+			InitialSSThresh: float64(buffer),
+		})
+	}
+	for i, f := range flows {
+		f.StartAt(sched, sim.Time(sim.Duration(i)*cfg.StartSpread/sim.Duration(nFlows)))
+	}
+
+	d.RightRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+	d.LeftRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+	for _, nz := range crosstraffic.NoiseSet(sched, d.Forward, cfg.NoiseFlows/2,
+		cfg.BottleneckRate, cfg.NoiseFraction/2, 100000,
+		netsim.SenderAddr(0), 2, sim.SubSeed(cfg.Seed, 12)) {
+		nz.Start()
+	}
+	for _, nz := range crosstraffic.NoiseSet(sched, d.Reverse, cfg.NoiseFlows-cfg.NoiseFlows/2,
+		cfg.BottleneckRate, cfg.NoiseFraction/2, 200000,
+		netsim.ReceiverAddr(0), 1, sim.SubSeed(cfg.Seed, 13)) {
+		nz.Start()
+	}
+
+	sched.RunUntil(sim.Time(cfg.Duration))
+
+	// Quantization can reorder equal-tick events only in appearance; the
+	// recorder is still nondecreasing because Quantize is monotone.
+	if rec.Len() < 2 {
+		return nil, fmt.Errorf("core: figure 3 scenario produced %d drops", rec.Len())
+	}
+	report, err := analysis.AnalyzeTrace(rec, meanRTT, analysis.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Report:  report,
+		Trace:   rec,
+		MeanRTT: meanRTT,
+		Bursts:  analysis.SummarizeBursts(rec.Events(), meanRTT/4),
+		Drops:   rec.Len(),
+	}, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/planetlab"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// Fig4Config reproduces the PlanetLab measurement campaign: CBR probes
+// over randomly picked directed paths of the 26-site mesh, two runs per
+// path (48 B and 400 B) with cross-validation, loss intervals normalized
+// by each path's RTT, aggregated into one PDF.
+type Fig4Config struct {
+	Seed int64
+	// Paths is how many randomly picked directed paths to measure
+	// (the paper measured across all 650 over three months; default 60).
+	Paths int
+	// ProbeInterval is the CBR probe gap (default 1 ms).
+	ProbeInterval sim.Duration
+	// Duration is the per-run measurement length (default 5 minutes, as
+	// in the paper; benches scale this down).
+	Duration sim.Duration
+	// MinLosses is the minimum number of losses for a path to contribute
+	// to the aggregate (default 5).
+	MinLosses int
+}
+
+func (c *Fig4Config) fillDefaults() {
+	if c.Paths == 0 {
+		c.Paths = 60
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = sim.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * 60 * sim.Second
+	}
+	if c.MinLosses == 0 {
+		c.MinLosses = 5
+	}
+}
+
+// Fig4Result aggregates the campaign.
+type Fig4Result struct {
+	Report *analysis.Report // merged, RTT-normalized PDF across paths
+
+	PathsMeasured  int
+	PathsValidated int // passed the dual-size validation
+	PathsAnalyzed  int // validated and enough losses
+	TotalLosses    int
+}
+
+// RunFigure4 executes the campaign.
+func RunFigure4(cfg Fig4Config) (*Fig4Result, error) {
+	cfg.fillDefaults()
+	mesh := planetlab.NewMesh(planetlab.MeshConfig{Seed: cfg.Seed})
+	pick := sim.NewRand(sim.SubSeed(cfg.Seed, 21))
+
+	res := &Fig4Result{}
+	var reports []*analysis.Report
+	seen := map[[2]int]bool{}
+	for len(seen) < cfg.Paths {
+		i, j := mesh.RandomPair(pick)
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+
+		// Each path gets its own scheduler: measurements are independent,
+		// as the paper's sequential experiments were.
+		sched := sim.NewScheduler()
+		path := mesh.NewPathProcess(i, j)
+		m := probe.MeasurePath(sched, path, probe.RunConfig{
+			Flow:     1,
+			Interval: cfg.ProbeInterval,
+			Duration: cfg.Duration,
+		})
+		res.PathsMeasured++
+		if !m.Valid {
+			continue
+		}
+		res.PathsValidated++
+		if len(m.Small.LossSendTimes) < cfg.MinLosses {
+			continue
+		}
+		rep, err := analysis.Analyze(m.Small.LossSendTimes, m.Small.PathRTT, analysis.Config{})
+		if err != nil {
+			continue
+		}
+		res.PathsAnalyzed++
+		res.TotalLosses += rep.N
+		reports = append(reports, rep)
+	}
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("core: figure 4 campaign yielded no analyzable paths")
+	}
+	merged, err := analysis.Merge(reports, analysis.Config{})
+	if err != nil {
+		return nil, err
+	}
+	res.Report = merged
+	return res, nil
+}

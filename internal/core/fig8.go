@@ -1,0 +1,97 @@
+package core
+
+import (
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig8Config reproduces the parallel-transfer latency experiment: a fixed
+// total volume (64 MB) split over N parallel flows at several RTTs, with
+// the completion latency normalized by the theoretic lower bound.
+type Fig8Config struct {
+	Seed           int64
+	TotalBytes     int64          // default 64 MB
+	FlowCounts     []int          // default {2,4,8,16,32}
+	RTTs           []sim.Duration // default {2,10,50,200} ms
+	BottleneckRate int64          // default 100 Mbps
+	PktSize        int            // default 1000
+	Runs           int            // perturbed repetitions per cell (default 5)
+	Paced          bool           // run the rate-based variant instead
+}
+
+func (c *Fig8Config) fillDefaults() {
+	if c.TotalBytes == 0 {
+		c.TotalBytes = 64 << 20
+	}
+	if len(c.FlowCounts) == 0 {
+		c.FlowCounts = []int{2, 4, 8, 16, 32}
+	}
+	if len(c.RTTs) == 0 {
+		c.RTTs = []sim.Duration{
+			2 * sim.Millisecond, 10 * sim.Millisecond,
+			50 * sim.Millisecond, 200 * sim.Millisecond,
+		}
+	}
+	if c.BottleneckRate == 0 {
+		c.BottleneckRate = 100_000_000
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+}
+
+// Fig8Cell is one (RTT, flow count) point: normalized latency mean and
+// spread over the runs.
+type Fig8Cell struct {
+	RTT   sim.Duration
+	Flows int
+	Mean  float64 // mean normalized latency (≥ 1)
+	Std   float64
+	Min   float64
+	Max   float64
+}
+
+// Fig8Result is the full latency surface, row-major by RTT then flows.
+type Fig8Result struct {
+	Cells      []Fig8Cell
+	FlowCounts []int
+	RTTs       []sim.Duration
+}
+
+// Cell returns the cell for (rtt, flows), or nil.
+func (r *Fig8Result) Cell(rtt sim.Duration, flows int) *Fig8Cell {
+	for i := range r.Cells {
+		if r.Cells[i].RTT == rtt && r.Cells[i].Flows == flows {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunFigure8 sweeps the latency surface.
+func RunFigure8(cfg Fig8Config) *Fig8Result {
+	cfg.fillDefaults()
+	res := &Fig8Result{FlowCounts: cfg.FlowCounts, RTTs: cfg.RTTs}
+	for _, rtt := range cfg.RTTs {
+		for _, n := range cfg.FlowCounts {
+			vals := apps.Sweep(apps.ParallelConfig{
+				TotalBytes:     cfg.TotalBytes,
+				Flows:          n,
+				PktSize:        cfg.PktSize,
+				RTT:            rtt,
+				BottleneckRate: cfg.BottleneckRate,
+				Paced:          cfg.Paced,
+			}, cfg.Runs)
+			s := stats.Summarize(vals)
+			res.Cells = append(res.Cells, Fig8Cell{
+				RTT: rtt, Flows: n,
+				Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max,
+			})
+		}
+	}
+	return res
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/planetlab"
+	"repro/internal/sim"
+)
+
+// All scenario tests run scaled-down versions of the paper's setups: the
+// shapes must hold at small scale even though the absolute statistics are
+// noisier.
+
+func TestRunFigure2ShowsSubRTTBurstiness(t *testing.T) {
+	res, err := RunFigure2(Fig2Config{
+		Seed:     1,
+		Flows:    16,
+		Duration: 30 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops < 20 {
+		t.Fatalf("only %d drops", res.Drops)
+	}
+	r := res.Report
+	// The paper's headline: >95% of losses within 0.01 RTT, and a process
+	// far burstier than Poisson. At small scale we demand 80%/0.01 RTT, a
+	// clearly super-exponential interval distribution (CoV ≫ 1; an
+	// exponential has CoV = 1 at any rate), over-dispersed counts, and at
+	// least as much smallest-bin mass as the matched Poisson.
+	if r.FracBelow001 < 0.8 {
+		t.Fatalf("frac<0.01RTT = %v; losses not clustered", r.FracBelow001)
+	}
+	if r.CoV < 2 {
+		t.Fatalf("interval CoV = %v; not burstier than Poisson", r.CoV)
+	}
+	if r.IndexOfDispersion < 5 {
+		t.Fatalf("IoD = %v", r.IndexOfDispersion)
+	}
+	// At very high loss rates both distributions concentrate in bin 0, so
+	// only demand near-parity there; CoV and IoD carry the burstiness
+	// distinction at any rate.
+	if r.BurstinessVsPoisson() < 0.9 {
+		t.Fatalf("smallest-bin mass far below Poisson: %v", r.BurstinessVsPoisson())
+	}
+	if res.Bursts.Bursts == 0 || res.Bursts.MeanSize < 1 {
+		t.Fatalf("burst stats: %+v", res.Bursts)
+	}
+}
+
+func TestRunFigure2Deterministic(t *testing.T) {
+	cfg := Fig2Config{Seed: 5, Flows: 16, Duration: 15 * sim.Second, Warmup: 3 * sim.Second}
+	a, err := RunFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Drops != b.Drops || a.MeanRTT != b.MeanRTT {
+		t.Fatalf("nondeterministic: %d/%v vs %d/%v", a.Drops, a.MeanRTT, b.Drops, b.MeanRTT)
+	}
+	for i, e := range a.Trace.Events() {
+		if e != b.Trace.Events()[i] {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+}
+
+func TestRunFigure3QuantizedTrace(t *testing.T) {
+	res, err := RunFigure3(Fig3Config{
+		Seed:          2,
+		FlowsPerClass: 2,
+		Duration:      30 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops < 10 {
+		t.Fatalf("only %d drops", res.Drops)
+	}
+	// Every recorded timestamp sits on the 1 ms grid.
+	for _, e := range res.Trace.Events() {
+		if int64(e.At)%int64(sim.Millisecond) != 0 {
+			t.Fatalf("unquantized drop at %v", e.At)
+		}
+	}
+	// Burstiness survives quantization (the paper: ≈80% under 0.01 RTT in
+	// the emulation; we demand clustering under 0.25 RTT at small scale).
+	if res.Report.FracBelow025 < 0.4 {
+		t.Fatalf("frac<0.25RTT = %v", res.Report.FracBelow025)
+	}
+	if res.Report.CoV < 1.5 {
+		t.Fatalf("CoV = %v", res.Report.CoV)
+	}
+}
+
+func TestRunFigure4CampaignShape(t *testing.T) {
+	res, err := RunFigure4(Fig4Config{
+		Seed:     3,
+		Paths:    12,
+		Duration: 30 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PathsMeasured != 12 {
+		t.Fatalf("measured %d paths", res.PathsMeasured)
+	}
+	if res.PathsValidated == 0 || res.PathsAnalyzed == 0 {
+		t.Fatalf("validated=%d analyzed=%d", res.PathsValidated, res.PathsAnalyzed)
+	}
+	r := res.Report
+	// Internet shape: substantial sub-RTT clustering, weaker than NS-2
+	// (the paper: 40% < 0.01 RTT, 60% < 1 RTT), still ≫ Poisson in the
+	// sub-RTT bins.
+	if r.FracBelow1 < 0.3 {
+		t.Fatalf("frac<1RTT = %v", r.FracBelow1)
+	}
+	if r.FracBelow001 >= r.FracBelow1 {
+		t.Fatal("fraction ordering broken")
+	}
+	if r.BurstinessVsPoisson() < 2 {
+		t.Fatalf("internet burstiness ratio = %v", r.BurstinessVsPoisson())
+	}
+}
+
+func TestRunFigure7PacingLoses(t *testing.T) {
+	res, err := RunFigure7(Fig7Config{
+		Seed:          4,
+		FlowsPerClass: 8,
+		Duration:      30 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deficit <= 0.02 {
+		t.Fatalf("pacing deficit = %.1f%%; paper observed ≈17%%", 100*res.Deficit)
+	}
+	if res.Deficit > 0.8 {
+		t.Fatalf("pacing deficit implausibly large: %.1f%%", 100*res.Deficit)
+	}
+	// Mechanism check: per packet delivered, paced flows detect loss
+	// events at least as often — the paper's explanation for the deficit.
+	pacedRate := float64(res.PacedCongestionEvents) / float64(res.PacedTotalPkts)
+	renoRate := float64(res.NewRenoCongestionEvents) / float64(res.NewRenoTotalPkts)
+	if pacedRate < renoRate {
+		t.Fatalf("paced per-packet event rate %.2e below newreno %.2e; mechanism broken",
+			pacedRate, renoRate)
+	}
+	if len(res.PacedMbps) == 0 || len(res.NewRenoMbps) == 0 {
+		t.Fatal("missing throughput series")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig7(&buf, res, sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deficit") {
+		t.Fatal("fig7 render missing header")
+	}
+}
+
+func TestRunFigure8LatencySurface(t *testing.T) {
+	res := RunFigure8(Fig8Config{
+		Seed:       5,
+		TotalBytes: 8 << 20, // 8 MB keeps the test quick
+		FlowCounts: []int{2, 8},
+		RTTs:       []sim.Duration{10 * sim.Millisecond, 200 * sim.Millisecond},
+		Runs:       3,
+	})
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Mean < 1 {
+			t.Fatalf("normalized latency < 1 at %+v", c)
+		}
+	}
+	// Long-RTT transfers are relatively worse (paper: 11–50 s vs 5.39 s
+	// bound at 200 ms).
+	lo := res.Cell(10*sim.Millisecond, 2)
+	hi := res.Cell(200*sim.Millisecond, 2)
+	if lo == nil || hi == nil {
+		t.Fatal("missing cells")
+	}
+	if hi.Mean <= lo.Mean {
+		t.Fatalf("long-RTT not worse: %v vs %v", hi.Mean, lo.Mean)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig8(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 5 {
+		t.Fatalf("fig8 render:\n%s", buf.String())
+	}
+	if res.Cell(sim.Duration(1), 99) != nil {
+		t.Fatal("bogus cell lookup should be nil")
+	}
+}
+
+func TestRunTFRCCompetition(t *testing.T) {
+	res, err := RunTFRCCompetition(TFRCCompConfig{
+		Seed:          6,
+		FlowsPerClass: 4,
+		Duration:      30 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper (citing Rhee & Xu): TFRC gets less than TCP.
+	if res.Deficit <= 0 {
+		t.Fatalf("TFRC beat NewReno: deficit = %.1f%%", 100*res.Deficit)
+	}
+	if res.TFRCLossRate <= 0 {
+		t.Fatal("TFRC never measured loss")
+	}
+}
+
+func TestRunECNCoverageOrdering(t *testing.T) {
+	cfg := ECNCoverageConfig{Seed: 7, Flows: 8, Duration: 20 * sim.Second}
+	dt, err := RunECNCoverage(cfg, ModeDropTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := RunECNCoverage(cfg, ModePersistentECN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's proposal: persistent ECN covers most flows each epoch;
+	// DropTail covers few.
+	if pe.CoverageFraction <= dt.CoverageFraction {
+		t.Fatalf("persistent ECN coverage %.2f not above droptail %.2f",
+			pe.CoverageFraction, dt.CoverageFraction)
+	}
+	if pe.CoverageFraction < 0.5 {
+		t.Fatalf("persistent ECN coverage only %.2f", pe.CoverageFraction)
+	}
+	if pe.AggregatePkts < dt.AggregatePkts/2 {
+		t.Fatal("persistent ECN collapsed throughput")
+	}
+	if pe.FairnessIndex < dt.FairnessIndex-0.1 {
+		t.Fatalf("persistent ECN hurt fairness: %.3f vs %.3f",
+			pe.FairnessIndex, dt.FairnessIndex)
+	}
+}
+
+func TestWritePDFAndASCII(t *testing.T) {
+	res, err := RunFigure2(Fig2Config{Seed: 8, Flows: 4, Duration: 10 * sim.Second,
+		Warmup: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePDF(&buf, res.Report); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "frac<0.01RTT") || !strings.Contains(out, "poisson_pdf") {
+		t.Fatalf("pdf render:\n%s", out)
+	}
+	// 100 bins + 2 header lines.
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 102 {
+		t.Fatalf("pdf rows = %d", got)
+	}
+	buf.Reset()
+	if err := WriteASCIIPDF(&buf, res.Report, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") || !strings.Contains(buf.String(), "o") {
+		t.Fatalf("ascii render:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteASCIIPDF(&buf, res.Report, 0); err != nil { // default rows
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSitesTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSites(&buf, planetlab.Sites()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 27 {
+		t.Fatalf("site rows = %d", got)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/planetlab"
+	"repro/internal/sim"
+)
+
+// WritePDF renders an inter-loss PDF report as the text equivalent of the
+// paper's Figures 2–4: one row per bin with the measured and Poisson
+// per-bin probabilities, preceded by the headline burstiness numbers.
+func WritePDF(w io.Writer, r *analysis.Report) error {
+	if _, err := fmt.Fprintf(w,
+		"# losses=%d lambda=%.3f/RTT frac<0.01RTT=%.3f frac<0.25RTT=%.3f frac<1RTT=%.3f burst_vs_poisson=%.1fx cov=%.1f ks=%.3f rejects_poisson=%v\n",
+		r.N, r.Lambda, r.FracBelow001, r.FracBelow025, r.FracBelow1,
+		r.BurstinessVsPoisson(), r.CoV, r.KSDistance, r.RejectsPoisson); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# interval_rtt\tmeasured_pdf\tpoisson_pdf"); err != nil {
+		return err
+	}
+	pmf := r.Hist.PMF()
+	for i := range pmf {
+		if _, err := fmt.Fprintf(w, "%.3f\t%.6g\t%.6g\n",
+			r.Hist.BinCenter(i), pmf[i], r.PoissonPMF[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteASCIIPDF renders a compact log-scale ASCII picture of the measured
+// vs Poisson PDF — a terminal rendition of the paper's figures. Each row
+// is one bin; '*' marks the measured mass, 'o' the Poisson reference.
+func WriteASCIIPDF(w io.Writer, r *analysis.Report, rows int) error {
+	if rows <= 0 {
+		rows = 20
+	}
+	pmf := r.Hist.PMF()
+	step := len(pmf) / rows
+	if step < 1 {
+		step = 1
+	}
+	const width = 50
+	// Log scale from 1e-6 to 1.
+	pos := func(p float64) int {
+		if p < 1e-6 {
+			return 0
+		}
+		// log10(p) in [-6, 0] → [0, width]
+		v := (6 + math.Log10(p)) / 6 * width
+		if v < 0 {
+			v = 0
+		}
+		if v > width {
+			v = width
+		}
+		return int(v)
+	}
+	for i := 0; i < len(pmf); i += step {
+		line := make([]byte, width+1)
+		for j := range line {
+			line[j] = ' '
+		}
+		po := pos(r.PoissonPMF[i])
+		pm := pos(pmf[i])
+		line[po] = 'o'
+		line[pm] = '*'
+		if _, err := fmt.Fprintf(w, "%5.2f |%s|\n", r.Hist.BinCenter(i), string(line)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      %s\n       PDF 1e-6 .. 1 (log), * measured, o poisson\n",
+		strings.Repeat("-", width+2))
+	return err
+}
+
+// WriteVisibilityTable renders the Eq. 1/2 validation rows.
+func WriteVisibilityTable(w io.Writer, rows []VisibilityResult) error {
+	if _, err := fmt.Fprintln(w, "# M\tN\tK\teq1_rate\temp_rate\teq2_win\temp_win"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.M, r.N, r.K, r.AnalyticRate, r.EmpiricalRate,
+			r.AnalyticWin, r.EmpiricalWin); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig7 renders the two aggregate-throughput curves.
+func WriteFig7(w io.Writer, r *Fig7Result, bin sim.Duration) error {
+	if _, err := fmt.Fprintf(w,
+		"# paced_total=%d newreno_total=%d deficit=%.1f%% paced_events=%d newreno_events=%d\n",
+		r.PacedTotalPkts, r.NewRenoTotalPkts, 100*r.Deficit,
+		r.PacedCongestionEvents, r.NewRenoCongestionEvents); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# time_s\tpaced_mbps\tnewreno_mbps"); err != nil {
+		return err
+	}
+	n := len(r.PacedMbps)
+	if len(r.NewRenoMbps) > n {
+		n = len(r.NewRenoMbps)
+	}
+	get := func(s []float64, i int) float64 {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		t := sim.Duration(i) * bin
+		if _, err := fmt.Fprintf(w, "%.1f\t%.2f\t%.2f\n",
+			t.Seconds(), get(r.PacedMbps, i), get(r.NewRenoMbps, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig8 renders the latency surface, one row per (RTT, flows) cell.
+func WriteFig8(w io.Writer, r *Fig8Result) error {
+	if _, err := fmt.Fprintln(w, "# rtt_ms\tflows\tmean_norm_latency\tstd\tmin\tmax"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%.0f\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			c.RTT.Seconds()*1e3, c.Flows, c.Mean, c.Std, c.Min, c.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSites renders the paper's Table 1.
+func WriteSites(w io.Writer, sites []planetlab.Site) error {
+	if _, err := fmt.Fprintln(w, "# host\tlocation\tregion"); err != nil {
+		return err
+	}
+	for _, s := range sites {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\n", s.Host, s.Location, s.Region); err != nil {
+			return err
+		}
+	}
+	return nil
+}

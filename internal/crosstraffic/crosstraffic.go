@@ -1,0 +1,173 @@
+// Package crosstraffic provides the background noise sources the paper's
+// simulations use: two-way exponential on–off UDP flows (50 of them,
+// averaging 10% of the bottleneck capacity in the paper's setup). During
+// an "on" period a source emits packets at its peak rate; on/off durations
+// are exponentially distributed.
+package crosstraffic
+
+import (
+	"math/rand"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// OnOffConfig parameterizes one exponential on–off source.
+type OnOffConfig struct {
+	Flow     int
+	Src      int
+	Dst      int
+	PktSize  int          // bytes (default 500)
+	PeakRate int64        // bits/second while on
+	MeanOn   sim.Duration // mean of the exponential on duration
+	MeanOff  sim.Duration // mean of the exponential off duration
+}
+
+// AvgRate reports the long-run average rate of the source in bits/second.
+func (c OnOffConfig) AvgRate() float64 {
+	on := c.MeanOn.Seconds()
+	off := c.MeanOff.Seconds()
+	if on+off == 0 {
+		return 0
+	}
+	return float64(c.PeakRate) * on / (on + off)
+}
+
+// OnOff is one exponential on–off source.
+type OnOff struct {
+	sched *sim.Scheduler
+	out   netsim.Handler
+	cfg   OnOffConfig
+	rng   *rand.Rand
+
+	on       bool
+	interval sim.Duration
+	sendTmr  *sim.Event
+	phaseTmr *sim.Event
+	seq      int64
+	pktID    uint64
+	running  bool
+
+	// Sent counts emitted packets.
+	Sent uint64
+}
+
+// NewOnOff builds a source. rng must be seeded by the caller.
+func NewOnOff(sched *sim.Scheduler, out netsim.Handler, cfg OnOffConfig, rng *rand.Rand) *OnOff {
+	if sched == nil || out == nil || rng == nil {
+		panic("crosstraffic: NewOnOff requires scheduler, output and rng")
+	}
+	if cfg.PktSize == 0 {
+		cfg.PktSize = 500
+	}
+	if cfg.PeakRate <= 0 || cfg.MeanOn <= 0 || cfg.MeanOff < 0 {
+		panic("crosstraffic: need positive peak rate and mean on-duration")
+	}
+	interval := sim.Duration(int64(cfg.PktSize) * 8 * int64(sim.Second) / cfg.PeakRate)
+	if interval <= 0 {
+		interval = sim.Nanosecond
+	}
+	return &OnOff{sched: sched, out: out, cfg: cfg, rng: rng, interval: interval}
+}
+
+// Start begins the on/off cycle (starting in the off phase so sources with
+// a shared seed don't all fire at t=0).
+func (o *OnOff) Start() {
+	if o.running {
+		return
+	}
+	o.running = true
+	o.enterOff()
+}
+
+// Stop halts the source.
+func (o *OnOff) Stop() {
+	o.running = false
+	for _, e := range []**sim.Event{&o.sendTmr, &o.phaseTmr} {
+		if *e != nil {
+			o.sched.Cancel(*e)
+			*e = nil
+		}
+	}
+}
+
+func (o *OnOff) enterOn() {
+	if !o.running {
+		return
+	}
+	o.on = true
+	d := sim.Exponential(o.rng, o.cfg.MeanOn)
+	o.phaseTmr = o.sched.After(d, func() {
+		o.phaseTmr = nil
+		o.enterOff()
+	})
+	o.emit()
+}
+
+func (o *OnOff) enterOff() {
+	if !o.running {
+		return
+	}
+	o.on = false
+	if o.sendTmr != nil {
+		o.sched.Cancel(o.sendTmr)
+		o.sendTmr = nil
+	}
+	d := sim.Exponential(o.rng, o.cfg.MeanOff)
+	o.phaseTmr = o.sched.After(d, func() {
+		o.phaseTmr = nil
+		o.enterOn()
+	})
+}
+
+func (o *OnOff) emit() {
+	if !o.running || !o.on {
+		return
+	}
+	o.pktID++
+	o.out.Handle(&netsim.Packet{
+		ID:       o.pktID,
+		Flow:     o.cfg.Flow,
+		Kind:     netsim.Data,
+		Size:     o.cfg.PktSize,
+		Seq:      o.seq,
+		Src:      o.cfg.Src,
+		Dst:      o.cfg.Dst,
+		SendTime: o.sched.Now(),
+	})
+	o.seq++
+	o.Sent++
+	o.sendTmr = o.sched.After(o.interval, func() {
+		o.sendTmr = nil
+		o.emit()
+	})
+}
+
+// NoiseSet builds the paper's standard noise ensemble: n on–off sources
+// whose aggregate average rate is the given fraction of capacity, split
+// evenly, with 50% duty cycle. Flows are numbered flowBase, flowBase+1, …
+// and all send from src to dst addresses (packets are absorbed by the
+// destination node's default handler).
+func NoiseSet(sched *sim.Scheduler, out netsim.Handler, n int, capacity int64,
+	fraction float64, flowBase, src, dst int, seed int64) []*OnOff {
+
+	perFlowAvg := fraction * float64(capacity) / float64(n)
+	peak := int64(2 * perFlowAvg) // 50% duty cycle
+	if peak <= 0 {
+		peak = 1
+	}
+	srcs := make([]*OnOff, n)
+	for i := range srcs {
+		rng := sim.NewRand(sim.SubSeed(seed, int64(i)))
+		srcs[i] = NewOnOff(sched, out, OnOffConfig{
+			Flow:     flowBase + i,
+			Src:      src,
+			Dst:      dst,
+			PktSize:  500,
+			PeakRate: peak,
+			MeanOn:   500 * sim.Millisecond,
+			MeanOff:  500 * sim.Millisecond,
+		}, rng)
+	}
+	return srcs
+}

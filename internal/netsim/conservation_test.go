@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestPortConservation: for any arrival pattern, every offered packet is
+// exactly one of {forwarded, dropped, still queued or in transit} — the
+// port never duplicates or leaks packets.
+func TestPortConservation(t *testing.T) {
+	f := func(seed int64, nPkts uint8, limit uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.NewScheduler()
+		delivered := 0
+		dst := HandlerFunc(func(p *Packet) { delivered++ })
+		lim := int(limit%20) + 1
+		port := NewPort(s, NewDropTail(lim), NewLink(1_000_000, sim.Millisecond, dst))
+		dropped := 0
+		port.OnDrop = func(p *Packet, at sim.Time) { dropped++ }
+
+		offered := int(nPkts) + 1
+		for i := 0; i < offered; i++ {
+			i := i
+			s.At(sim.Time(sim.Duration(rng.Intn(50))*sim.Millisecond), func() {
+				port.Handle(&Packet{ID: uint64(i), Size: rng.Intn(1400) + 100, Kind: Data})
+			})
+		}
+		s.Run()
+		if delivered+dropped != offered {
+			return false
+		}
+		if int(port.Forwarded) != delivered || int(port.Dropped) != dropped {
+			return false
+		}
+		return port.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestREDConservation: the same invariant for a RED queue, including ECN
+// marking (marked packets are forwarded, not dropped).
+func TestREDConservation(t *testing.T) {
+	f := func(seed int64, nPkts uint8, ecn bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.NewScheduler()
+		delivered, marked := 0, 0
+		dst := HandlerFunc(func(p *Packet) {
+			delivered++
+			if p.CE {
+				marked++
+			}
+		})
+		red := NewRED(REDConfig{Limit: 20, MinTh: 3, MaxTh: 9, MaxP: 0.2, ECN: ecn},
+			rand.New(rand.NewSource(seed+1)))
+		port := NewPort(s, red, NewLink(1_000_000, 0, dst))
+		dropped := 0
+		port.OnDrop = func(p *Packet, at sim.Time) { dropped++ }
+
+		offered := int(nPkts) + 50
+		for i := 0; i < offered; i++ {
+			i := i
+			s.At(sim.Time(sim.Duration(rng.Intn(20))*sim.Millisecond), func() {
+				port.Handle(&Packet{ID: uint64(i), Size: 500, Kind: Data, ECT: ecn})
+			})
+		}
+		s.Run()
+		if delivered+dropped != offered {
+			return false
+		}
+		if int(red.Marked) != marked {
+			return false
+		}
+		// ECN-capable traffic below the hard limit should rarely drop; with
+		// ECN off it must drop under this load... both cases just require
+		// conservation, asserted above.
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDumbbellEndToEndConservation: across a full dumbbell, data packets
+// offered by senders equal receiver deliveries plus bottleneck and access
+// drops.
+func TestDumbbellEndToEndConservation(t *testing.T) {
+	s := sim.NewScheduler()
+	d := NewDumbbell(s, DumbbellConfig{
+		BottleneckRate:  2_000_000,
+		BottleneckDelay: sim.Millisecond,
+		AccessRate:      100_000_000,
+		AccessDelays:    []sim.Duration{5 * sim.Millisecond, 5 * sim.Millisecond},
+		Buffer:          10,
+	})
+	got := 0
+	for i := 0; i < 2; i++ {
+		d.ReceiverNode(i).Bind(i+1, HandlerFunc(func(p *Packet) { got++ }))
+	}
+	drops := 0
+	d.Forward.OnDrop = func(p *Packet, at sim.Time) { drops++ }
+
+	rng := rand.New(rand.NewSource(5))
+	const offered = 2000
+	for i := 0; i < offered; i++ {
+		i := i
+		s.At(sim.Time(sim.Duration(rng.Intn(1000))*sim.Millisecond), func() {
+			pair := i % 2
+			d.SenderNode(pair).Handle(&Packet{
+				ID: uint64(i), Flow: pair + 1, Kind: Data, Size: 1000,
+				Src: SenderAddr(pair), Dst: ReceiverAddr(pair),
+			})
+		})
+	}
+	s.Run()
+	if got+drops != offered {
+		t.Fatalf("conservation violated: delivered=%d dropped=%d offered=%d",
+			got, drops, offered)
+	}
+	if drops == 0 {
+		t.Fatal("expected some drops at the 2 Mbps bottleneck")
+	}
+}

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// DumbbellConfig describes the paper's Figure-1 topology: a set of senders
+// and receivers joined by a single bottleneck, with per-sender access links
+// whose one-way latencies determine the flows' RTTs.
+type DumbbellConfig struct {
+	// BottleneckRate is the capacity c of the shared link in bits/second
+	// (100 Mbps in the paper).
+	BottleneckRate int64
+	// BottleneckDelay is the propagation delay of the bottleneck link
+	// itself. The paper folds path latency into the access links, so this
+	// is typically small.
+	BottleneckDelay sim.Duration
+	// AccessRate is the capacity of each access link (1 Gbps in the paper).
+	AccessRate int64
+	// AccessDelays gives the one-way access-link latency for each endpoint
+	// pair; flow i's RTT is 2·(AccessDelays[i]·2 + BottleneckDelay·2)
+	// ... more precisely: data crosses sender access + bottleneck +
+	// receiver access, and the ACK returns the same way, so
+	// RTT_i = 4·AccessDelays[i] + 2·BottleneckDelay when sender and
+	// receiver access links share the latency. To keep each flow's RTT an
+	// explicit input, the builder assigns AccessDelays[i]/2 to each of the
+	// sender-side and receiver-side access links, making
+	// RTT_i = 2·AccessDelays[i] + 2·BottleneckDelay (+ queueing + tx).
+	AccessDelays []sim.Duration
+	// Buffer is the bottleneck buffer size in packets.
+	Buffer int
+	// Queue, if non-nil, overrides the forward bottleneck queue (e.g. a RED
+	// queue for the ECN ablation). When nil, a DropTail of size Buffer is
+	// used.
+	Queue Queue
+	// ReverseQueue optionally overrides the reverse-path bottleneck queue.
+	ReverseQueue Queue
+}
+
+// Dumbbell is the built topology. Each flow i has a dedicated sender-side
+// node SenderNode(i) and receiver-side node ReceiverNode(i); all share the
+// forward and reverse bottleneck ports.
+type Dumbbell struct {
+	Sched *sim.Scheduler
+
+	LeftRouter  *Node // aggregates senders, owns the forward bottleneck port
+	RightRouter *Node // aggregates receivers, owns the reverse bottleneck port
+
+	Forward *Port // left -> right bottleneck (where data-direction drops happen)
+	Reverse *Port // right -> left bottleneck
+
+	senders   []*Node
+	receivers []*Node
+
+	cfg DumbbellConfig
+}
+
+// Endpoint addressing scheme: senders are 1000+i, receivers are 2000+i,
+// routers are 1 (left) and 2 (right).
+const (
+	leftRouterAddr  = 1
+	rightRouterAddr = 2
+	senderAddrBase  = 1000
+	recvAddrBase    = 2000
+)
+
+// SenderAddr returns the node address of sender i.
+func SenderAddr(i int) int { return senderAddrBase + i }
+
+// ReceiverAddr returns the node address of receiver i.
+func ReceiverAddr(i int) int { return recvAddrBase + i }
+
+// NewDumbbell wires the topology of DumbbellConfig onto sched.
+func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig) *Dumbbell {
+	if cfg.BottleneckRate <= 0 || cfg.AccessRate <= 0 {
+		panic("netsim: dumbbell rates must be positive")
+	}
+	if len(cfg.AccessDelays) == 0 {
+		panic("netsim: dumbbell needs at least one endpoint pair")
+	}
+	if cfg.Buffer <= 0 && cfg.Queue == nil {
+		panic("netsim: dumbbell needs a buffer size or an explicit queue")
+	}
+
+	d := &Dumbbell{Sched: sched, cfg: cfg}
+	d.LeftRouter = NewNode(sched, leftRouterAddr)
+	d.RightRouter = NewNode(sched, rightRouterAddr)
+
+	fq := cfg.Queue
+	if fq == nil {
+		fq = NewDropTail(cfg.Buffer)
+	}
+	rq := cfg.ReverseQueue
+	if rq == nil {
+		rq = NewDropTail(maxInt(cfg.Buffer, 1024)) // generous reverse buffer: ACKs should not drop unless asked
+	}
+	d.Forward = NewPort(sched, fq, NewLink(cfg.BottleneckRate, cfg.BottleneckDelay, d.RightRouter))
+	d.Reverse = NewPort(sched, rq, NewLink(cfg.BottleneckRate, cfg.BottleneckDelay, d.LeftRouter))
+
+	for i, delay := range cfg.AccessDelays {
+		half := delay / 2
+		sn := NewNode(sched, SenderAddr(i))
+		rn := NewNode(sched, ReceiverAddr(i))
+
+		// sender -> left router and back
+		sUp := NewPort(sched, NewDropTail(4096), NewLink(cfg.AccessRate, half, d.LeftRouter))
+		sDown := NewPort(sched, NewDropTail(4096), NewLink(cfg.AccessRate, half, sn))
+		// right router -> receiver and back
+		rDown := NewPort(sched, NewDropTail(4096), NewLink(cfg.AccessRate, half, rn))
+		rUp := NewPort(sched, NewDropTail(4096), NewLink(cfg.AccessRate, half, d.RightRouter))
+
+		// Routing: everything a sender emits goes up its access link; the
+		// left router sends receiver-bound traffic over the bottleneck and
+		// sender-bound traffic down the right access link, and vice versa.
+		sn.AddRoute(ReceiverAddr(i), sUp)
+		rn.AddRoute(SenderAddr(i), rUp)
+		d.LeftRouter.AddRoute(ReceiverAddr(i), d.Forward)
+		d.LeftRouter.AddRoute(SenderAddr(i), sDown)
+		d.RightRouter.AddRoute(SenderAddr(i), d.Reverse)
+		d.RightRouter.AddRoute(ReceiverAddr(i), rDown)
+
+		d.senders = append(d.senders, sn)
+		d.receivers = append(d.receivers, rn)
+	}
+	return d
+}
+
+// NumPairs reports how many endpoint pairs the dumbbell has.
+func (d *Dumbbell) NumPairs() int { return len(d.senders) }
+
+// SenderNode returns the sender-side endpoint node for pair i.
+func (d *Dumbbell) SenderNode(i int) *Node { return d.senders[i] }
+
+// ReceiverNode returns the receiver-side endpoint node for pair i.
+func (d *Dumbbell) ReceiverNode(i int) *Node { return d.receivers[i] }
+
+// PairRTT reports the base (unloaded, zero-size-packet) round-trip time of
+// pair i: twice the access delay plus twice the bottleneck delay.
+func (d *Dumbbell) PairRTT(i int) sim.Duration {
+	return 2*d.cfg.AccessDelays[i] + 2*d.cfg.BottleneckDelay
+}
+
+// BDP reports the bandwidth-delay product for a given RTT, in packets of
+// the given size — the paper sizes buffers in fractions of this.
+func BDP(rate int64, rtt sim.Duration, pktSize int) int {
+	bits := float64(rate) * rtt.Seconds()
+	pkts := bits / float64(pktSize*8)
+	if pkts < 1 {
+		return 1
+	}
+	return int(pkts)
+}
+
+// RandomAccessDelays draws n access latencies uniformly from [lo, hi], the
+// paper's U[2ms, 200ms] setup for NS-2.
+func RandomAccessDelays(rng *rand.Rand, n int, lo, hi sim.Duration) []sim.Duration {
+	out := make([]sim.Duration, n)
+	for i := range out {
+		out[i] = lo + sim.Duration(rng.Int63n(int64(hi-lo)+1))
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

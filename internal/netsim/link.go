@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// DropFunc observes a packet drop at a port. The experiments install one at
+// the bottleneck to record the loss trace the paper analyzes.
+type DropFunc func(p *Packet, at sim.Time)
+
+// Link is a unidirectional wire: it serializes packets at Rate and delivers
+// them to Dst after Delay. Serialization occupies the link, so a Link is
+// driven by a Port which starts the next transmission when the previous one
+// finishes.
+type Link struct {
+	Rate  int64        // bits per second
+	Delay sim.Duration // propagation delay
+	Dst   Handler
+}
+
+// NewLink builds a link. Rate must be positive.
+func NewLink(rate int64, delay sim.Duration, dst Handler) *Link {
+	if rate <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	return &Link{Rate: rate, Delay: delay, Dst: dst}
+}
+
+// TxTime reports how long a packet of size bytes occupies the link.
+func (l *Link) TxTime(size int) sim.Duration {
+	return sim.Duration(int64(size) * 8 * int64(sim.Second) / l.Rate)
+}
+
+// Port is an output port: a queue feeding a link. Arriving packets enter
+// the queue (or are dropped, invoking OnDrop); the port transmits the head
+// packet whenever the link is idle. This is the standard ns-2 queue+link
+// model and is where every loss in the system happens.
+type Port struct {
+	Sched *sim.Scheduler
+	Queue Queue
+	Link  *Link
+
+	// OnDrop, if set, observes every packet the queue rejects.
+	OnDrop DropFunc
+
+	// ProcNoise, if set, returns a per-packet processing delay added before
+	// serialization. The Dummynet emulation layer uses it to model the
+	// non-ideal packet processing time of a software router.
+	ProcNoise func() sim.Duration
+
+	busy bool
+
+	// Counters for experiment bookkeeping.
+	Forwarded uint64
+	Dropped   uint64
+	TxBytes   uint64
+}
+
+// NewPort wires a queue to a link on the given scheduler.
+func NewPort(sched *sim.Scheduler, q Queue, l *Link) *Port {
+	if sched == nil || q == nil || l == nil {
+		panic("netsim: NewPort requires scheduler, queue and link")
+	}
+	return &Port{Sched: sched, Queue: q, Link: l}
+}
+
+// Handle implements Handler: offer the packet to the queue and kick the
+// transmitter.
+func (p *Port) Handle(pkt *Packet) {
+	ok := false
+	if red, isRED := p.Queue.(*RED); isRED {
+		ok = red.EnqueueAt(pkt, p.Sched.Now().Seconds())
+	} else {
+		ok = p.Queue.Enqueue(pkt)
+	}
+	if !ok {
+		p.Dropped++
+		if p.OnDrop != nil {
+			p.OnDrop(pkt, p.Sched.Now())
+		}
+		return
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+func (p *Port) transmitNext() {
+	pkt := p.Queue.Dequeue()
+	if pkt == nil {
+		p.busy = false
+		return
+	}
+	if p.Queue.Len() == 0 {
+		if red, isRED := p.Queue.(*RED); isRED {
+			red.NoteEmptyAt(p.Sched.Now().Seconds())
+		}
+	}
+	p.busy = true
+	tx := p.Link.TxTime(pkt.Size)
+	if p.ProcNoise != nil {
+		tx += p.ProcNoise()
+	}
+	p.Forwarded++
+	p.TxBytes += uint64(pkt.Size)
+	// The packet leaves the port after serialization; it arrives at the
+	// destination a propagation delay later. The port is free to start the
+	// next packet as soon as serialization completes.
+	p.Sched.After(tx, func() {
+		delay := p.Link.Delay
+		dst := p.Link.Dst
+		p.Sched.After(delay, func() { dst.Handle(pkt) })
+		p.transmitNext()
+	})
+}
+
+// QueueLen reports the instantaneous queue length in packets.
+func (p *Port) QueueLen() int { return p.Queue.Len() }
+
+// UniformNoise returns a ProcNoise function drawing uniformly from [0,max).
+func UniformNoise(rng *rand.Rand, max sim.Duration) func() sim.Duration {
+	return func() sim.Duration { return sim.Duration(rng.Int63n(int64(max))) }
+}

@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// collector records delivered packets with their arrival times.
+type collector struct {
+	sched *sim.Scheduler
+	pkts  []*Packet
+	times []sim.Time
+}
+
+func (c *collector) Handle(p *Packet) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, c.sched.Now())
+}
+
+func TestLinkTxTime(t *testing.T) {
+	l := NewLink(100_000_000, 0, nil) // 100 Mbps
+	// 1250 bytes = 10,000 bits -> 100 µs at 100 Mbps.
+	if got := l.TxTime(1250); got != 100*sim.Microsecond {
+		t.Fatalf("TxTime = %v", got)
+	}
+}
+
+func TestLinkZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero rate")
+		}
+	}()
+	NewLink(0, 0, nil)
+}
+
+func TestPortSerializationAndDelay(t *testing.T) {
+	s := sim.NewScheduler()
+	c := &collector{sched: s}
+	// 1 Mbps, 10 ms propagation: 1000-byte packet = 8 ms serialization.
+	port := NewPort(s, NewDropTail(10), NewLink(1_000_000, 10*sim.Millisecond, c))
+	port.Handle(mkPkt(1, 1000))
+	s.Run()
+	if len(c.pkts) != 1 {
+		t.Fatalf("delivered %d packets", len(c.pkts))
+	}
+	want := sim.Time(18 * sim.Millisecond) // 8 ms tx + 10 ms prop
+	if c.times[0] != want {
+		t.Fatalf("arrival at %v, want %v", c.times[0], want)
+	}
+}
+
+func TestPortBackToBackSerialization(t *testing.T) {
+	s := sim.NewScheduler()
+	c := &collector{sched: s}
+	port := NewPort(s, NewDropTail(10), NewLink(1_000_000, 0, c))
+	// Three packets injected at t=0 must leave 8 ms apart.
+	for i := uint64(0); i < 3; i++ {
+		port.Handle(mkPkt(i, 1000))
+	}
+	s.Run()
+	if len(c.pkts) != 3 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+	for i, want := range []sim.Time{
+		sim.Time(8 * sim.Millisecond),
+		sim.Time(16 * sim.Millisecond),
+		sim.Time(24 * sim.Millisecond),
+	} {
+		if c.times[i] != want {
+			t.Fatalf("packet %d at %v, want %v", i, c.times[i], want)
+		}
+	}
+}
+
+func TestPortDropsWhenFull(t *testing.T) {
+	s := sim.NewScheduler()
+	c := &collector{sched: s}
+	port := NewPort(s, NewDropTail(2), NewLink(1_000_000, 0, c))
+	var drops []*Packet
+	port.OnDrop = func(p *Packet, at sim.Time) { drops = append(drops, p) }
+	// One packet goes straight to the transmitter; two fill the queue; the
+	// fourth must drop.
+	for i := uint64(0); i < 4; i++ {
+		port.Handle(mkPkt(i, 1000))
+	}
+	if len(drops) != 1 || drops[0].ID != 3 {
+		t.Fatalf("drops = %v", drops)
+	}
+	s.Run()
+	if len(c.pkts) != 3 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+	if port.Dropped != 1 || port.Forwarded != 3 {
+		t.Fatalf("counters: dropped=%d forwarded=%d", port.Dropped, port.Forwarded)
+	}
+}
+
+func TestPortPipelinesPropagation(t *testing.T) {
+	// Propagation must not serialize: with 8 ms tx and 100 ms delay, two
+	// packets arrive 8 ms apart, not 108 ms apart.
+	s := sim.NewScheduler()
+	c := &collector{sched: s}
+	port := NewPort(s, NewDropTail(10), NewLink(1_000_000, 100*sim.Millisecond, c))
+	port.Handle(mkPkt(0, 1000))
+	port.Handle(mkPkt(1, 1000))
+	s.Run()
+	gap := c.times[1].Sub(c.times[0])
+	if gap != 8*sim.Millisecond {
+		t.Fatalf("inter-arrival %v, want 8ms", gap)
+	}
+}
+
+func TestPortProcNoiseDelaysPackets(t *testing.T) {
+	s := sim.NewScheduler()
+	c := &collector{sched: s}
+	port := NewPort(s, NewDropTail(10), NewLink(1_000_000, 0, c))
+	port.ProcNoise = func() sim.Duration { return 5 * sim.Millisecond }
+	port.Handle(mkPkt(0, 1000))
+	s.Run()
+	if c.times[0] != sim.Time(13*sim.Millisecond) {
+		t.Fatalf("arrival %v, want 13ms (8 tx + 5 noise)", c.times[0])
+	}
+}
+
+func TestUniformNoiseRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := UniformNoise(rng, sim.Millisecond)
+	for i := 0; i < 1000; i++ {
+		d := f()
+		if d < 0 || d >= sim.Millisecond {
+			t.Fatalf("noise %v out of range", d)
+		}
+	}
+}
+
+func TestPortTxBytesCounter(t *testing.T) {
+	s := sim.NewScheduler()
+	c := &collector{sched: s}
+	port := NewPort(s, NewDropTail(10), NewLink(1_000_000, 0, c))
+	port.Handle(mkPkt(0, 400))
+	port.Handle(mkPkt(1, 600))
+	s.Run()
+	if port.TxBytes != 1000 {
+		t.Fatalf("TxBytes = %d", port.TxBytes)
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	var got *Packet
+	h := HandlerFunc(func(p *Packet) { got = p })
+	p := mkPkt(7, 1)
+	h.Handle(p)
+	if got != p {
+		t.Fatal("HandlerFunc did not forward")
+	}
+}

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Node is a network element with an address, a static routing table and an
+// optional local transport delivery map. Packets arriving for the node's
+// own address are handed to the registered local Handler for the packet's
+// flow; everything else is forwarded out the port selected by destination
+// address.
+type Node struct {
+	Addr   int
+	routes map[int]*Port   // destination address -> output port
+	local  map[int]Handler // flow id -> local transport endpoint
+	catch  Handler         // fallback local handler
+	drops  func(p *Packet, at sim.Time)
+	sched  *sim.Scheduler
+}
+
+// NewNode creates a node with the given address.
+func NewNode(sched *sim.Scheduler, addr int) *Node {
+	return &Node{
+		Addr:   addr,
+		routes: make(map[int]*Port),
+		local:  make(map[int]Handler),
+		sched:  sched,
+	}
+}
+
+// AddRoute directs traffic for dst out the given port.
+func (n *Node) AddRoute(dst int, port *Port) { n.routes[dst] = port }
+
+// Bind registers a local transport endpoint for a flow id. Packets
+// addressed to this node with that flow id are delivered to h.
+func (n *Node) Bind(flow int, h Handler) { n.local[flow] = h }
+
+// BindDefault registers a catch-all local handler used when no per-flow
+// binding exists (e.g. sinks that absorb cross traffic).
+func (n *Node) BindDefault(h Handler) { n.catch = h }
+
+// OnLocalDrop installs an observer for packets that arrive for this node
+// but have no handler; useful to catch mis-wired experiments early.
+func (n *Node) OnLocalDrop(f func(p *Packet, at sim.Time)) { n.drops = f }
+
+// Handle implements Handler: deliver locally or forward.
+func (n *Node) Handle(pkt *Packet) {
+	if pkt.Dst == n.Addr {
+		if h, ok := n.local[pkt.Flow]; ok {
+			h.Handle(pkt)
+			return
+		}
+		if n.catch != nil {
+			n.catch.Handle(pkt)
+			return
+		}
+		if n.drops != nil {
+			n.drops(pkt, n.sched.Now())
+			return
+		}
+		panic(fmt.Sprintf("netsim: node %d: no handler for flow %d", n.Addr, pkt.Flow))
+	}
+	port, ok := n.routes[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: node %d: no route to %d", n.Addr, pkt.Dst))
+	}
+	port.Handle(pkt)
+}

@@ -1,0 +1,86 @@
+// Package netsim provides the packet-level network elements that the
+// experiments run on: packets, queues (DropTail and RED, with optional ECN
+// marking), links with serialization and propagation delay, output ports,
+// nodes with static routing, and the dumbbell topology used throughout the
+// paper. It plays the role NS-2 plays in the original study.
+package netsim
+
+import "repro/internal/sim"
+
+// PacketKind discriminates the traffic carried by a Packet.
+type PacketKind uint8
+
+const (
+	// Data is a payload-carrying segment (TCP data, TFRC data, CBR probe,
+	// cross-traffic burst).
+	Data PacketKind = iota
+	// Ack is a transport acknowledgement travelling in the reverse path.
+	Ack
+	// Feedback is a TFRC receiver report.
+	Feedback
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case Feedback:
+		return "feedback"
+	default:
+		return "unknown"
+	}
+}
+
+// Packet is the unit of transmission. Packets are allocated by senders and
+// flow through queues and links by pointer; nothing mutates a packet after
+// it has been handed to the network except the ECN congestion-experienced
+// bit, which routers may set.
+type Packet struct {
+	ID   uint64     // globally unique, assigned by the allocating source
+	Flow int        // flow identifier; unique per experiment
+	Kind PacketKind // data / ack / feedback
+	Size int        // bytes on the wire, headers included
+
+	Seq int64 // data: sequence number in packets; acks: echoed sequence
+	Ack int64 // acks: cumulative acknowledgement (next expected seq)
+
+	Src, Dst int // node addresses
+
+	SendTime sim.Time // stamped by the source when first transmitted
+	Retrans  bool     // data: this is a retransmission
+
+	ECT bool // ECN-capable transport
+	CE  bool // congestion experienced, set by RED/ECN routers
+
+	// SenderRTT is the sender's current RTT estimate, carried on TFRC data
+	// packets (RFC 3448 §3.2.1) so the receiver can group losses into loss
+	// events and pace its feedback.
+	SenderRTT sim.Duration
+
+	// FeedbackPayload carries TFRC receiver-report fields when Kind is
+	// Feedback. It is nil on other packets.
+	FeedbackPayload *TFRCFeedback
+}
+
+// TFRCFeedback is the receiver report defined by RFC 3448 §3.2.2: the
+// information a TFRC receiver returns to its sender once per RTT.
+type TFRCFeedback struct {
+	Timestamp sim.Time // send time of the packet that triggered the report (for RTT)
+	Delay     sim.Duration
+	RecvRate  float64 // receive rate in bytes/second since the last report
+	LossRate  float64 // loss event rate p
+}
+
+// Handler consumes packets. Links deliver to Handlers; transports and nodes
+// implement it.
+type Handler interface {
+	Handle(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// Handle calls f(pkt).
+func (f HandlerFunc) Handle(pkt *Packet) { f(pkt) }

@@ -1,0 +1,84 @@
+package netsim
+
+// Queue is the buffering discipline of an output port. Enqueue either
+// accepts the packet or reports a drop; it may also mark ECN-capable
+// packets instead of dropping (RED). Queues are packet-counting by default,
+// matching the ns-2 DropTail configuration the paper uses.
+type Queue interface {
+	// Enqueue offers a packet. It returns false when the packet was dropped.
+	Enqueue(p *Packet) bool
+	// Dequeue removes and returns the head packet, or nil when empty.
+	Dequeue() *Packet
+	// Len reports queued packets.
+	Len() int
+	// Bytes reports queued bytes.
+	Bytes() int
+}
+
+// fifo is the common packet store shared by the queue disciplines.
+type fifo struct {
+	pkts  []*Packet
+	head  int
+	bytes int
+}
+
+func (q *fifo) push(p *Packet) {
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+}
+
+func (q *fifo) pop() *Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *fifo) len() int { return len(q.pkts) - q.head }
+
+// DropTail is a FIFO queue with a hard packet limit: the discipline the
+// paper identifies as the major source of sub-RTT loss burstiness. When the
+// buffer is full every arriving packet is dropped until a departure makes
+// room, which is exactly what produces the cluster of drops the paper
+// measures.
+type DropTail struct {
+	fifo
+	Limit int // capacity in packets
+}
+
+// NewDropTail returns a DropTail queue holding at most limit packets.
+// A non-positive limit panics: a bufferless port cannot forward.
+func NewDropTail(limit int) *DropTail {
+	if limit <= 0 {
+		panic("netsim: DropTail limit must be positive")
+	}
+	return &DropTail{Limit: limit}
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *Packet) bool {
+	if q.len() >= q.Limit {
+		return false
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue() *Packet { return q.pop() }
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return q.fifo.len() }
+
+// Bytes implements Queue.
+func (q *DropTail) Bytes() int { return q.fifo.bytes }

@@ -1,0 +1,144 @@
+package planetlab
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// MeshConfig controls the synthetic mesh derivation.
+type MeshConfig struct {
+	// Seed determines every per-path parameter.
+	Seed int64
+	// RouteInflation multiplies great-circle propagation time to account
+	// for indirect fiber routes (default 1.7).
+	RouteInflation float64
+	// MinRTT clamps path RTTs from below (default 2 ms, the paper's
+	// minimum).
+	MinRTT sim.Duration
+	// MaxRTT clamps from above (default 350 ms; the paper saw >300 ms).
+	MaxRTT sim.Duration
+}
+
+func (c *MeshConfig) fillDefaults() {
+	if c.RouteInflation == 0 {
+		c.RouteInflation = 1.7
+	}
+	if c.MinRTT == 0 {
+		c.MinRTT = 2 * sim.Millisecond
+	}
+	if c.MaxRTT == 0 {
+		c.MaxRTT = 350 * sim.Millisecond
+	}
+}
+
+// Mesh is the full 650-path synthetic testbed.
+type Mesh struct {
+	Sites []Site
+	cfg   MeshConfig
+	// paths[src][dst], nil on the diagonal.
+	params [][]PathParams
+}
+
+// NewMesh derives the complete directed mesh over the paper's 26 sites.
+func NewMesh(cfg MeshConfig) *Mesh {
+	cfg.fillDefaults()
+	sites := Sites()
+	m := &Mesh{Sites: sites, cfg: cfg}
+	m.params = make([][]PathParams, len(sites))
+	for i := range sites {
+		m.params[i] = make([]PathParams, len(sites))
+		for j := range sites {
+			if i == j {
+				continue
+			}
+			m.params[i][j] = m.derivePath(i, j)
+		}
+	}
+	return m
+}
+
+// derivePath computes deterministic per-path parameters from the seed and
+// the site pair.
+func (m *Mesh) derivePath(i, j int) PathParams {
+	rng := rand.New(rand.NewSource(sim.SubSeed(m.cfg.Seed, int64(i*1000+j))))
+
+	a, b := m.Sites[i], m.Sites[j]
+	km := GreatCircleKm(a.Lat, a.Lon, b.Lat, b.Lon)
+	// Light in fiber ≈ 200,000 km/s; inflate for route indirection, then
+	// add a path-specific extra of up to +60% for queueing/peering.
+	propSec := km / 200000.0 * m.cfg.RouteInflation
+	rtt := sim.Duration(2 * propSec * float64(sim.Second))
+	rtt += sim.Duration(rng.Float64() * 0.6 * float64(rtt))
+	// Same-metro pairs still have a couple of ms.
+	rtt += sim.Duration(2+rng.Intn(4)) * sim.Millisecond
+	if rtt < m.cfg.MinRTT {
+		rtt = m.cfg.MinRTT
+	}
+	if rtt > m.cfg.MaxRTT {
+		rtt = m.cfg.MaxRTT
+	}
+
+	// Congestion-episode parameters. Episode durations are tied to the
+	// path RTT (drop bursts last a fraction of the bottleneck's RTT —
+	// DropTail overflow persists until senders back off, about half an
+	// RTT), with heterogeneity across paths: some paths congested often,
+	// some almost never.
+	episodeRate := 0.02 + rng.Float64()*0.4 // 1 per 50 s … 1 per 2.4 s
+	meanEpisode := sim.Duration((0.1 + 0.5*rng.Float64()) * float64(rtt))
+	if meanEpisode < sim.Millisecond {
+		meanEpisode = sim.Millisecond
+	}
+	return PathParams{
+		SrcSite:       i,
+		DstSite:       j,
+		RTT:           rtt,
+		EpisodeRate:   episodeRate,
+		MeanEpisode:   meanEpisode,
+		LossInEpisode: 0.55 + 0.4*rng.Float64(),
+		Background:    rng.Float64() * 5e-4,
+		JitterMax:     sim.Duration(float64(rtt) * 0.02),
+	}
+}
+
+// PathParams returns the derived parameters for the directed path i→j.
+// Panics on the diagonal.
+func (m *Mesh) PathParams(i, j int) PathParams {
+	if i == j {
+		panic("planetlab: no self path")
+	}
+	return m.params[i][j]
+}
+
+// NewPathProcess instantiates the live loss process for path i→j with an
+// independent, deterministic random stream.
+func (m *Mesh) NewPathProcess(i, j int) *Path {
+	params := m.PathParams(i, j)
+	rng := rand.New(rand.NewSource(sim.SubSeed(m.cfg.Seed+1, int64(i*1000+j))))
+	return NewPath(params, rng)
+}
+
+// RandomPair picks a random ordered site pair, the paper's "two randomly
+// picked sites".
+func (m *Mesh) RandomPair(rng *rand.Rand) (int, int) {
+	n := len(m.Sites)
+	i := rng.Intn(n)
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// AllRTTs lists every directed path's RTT, for distribution checks.
+func (m *Mesh) AllRTTs() []sim.Duration {
+	var out []sim.Duration
+	for i := range m.Sites {
+		for j := range m.Sites {
+			if i != j {
+				out = append(out, m.params[i][j].RTT)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package probe implements the paper's Internet measurement instrument: a
+// constant-bit-rate prober that sends fixed-size packets over a path,
+// infers losses from gaps in the received sequence numbers (exact for a
+// deterministic CBR schedule), and validates each measurement by running
+// twice — once with 48-byte and once with 400-byte packets — accepting the
+// measurement only when the two traces exhibit similar loss patterns
+// (the paper's §3.1 protocol).
+package probe
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/planetlab"
+	"repro/internal/ratectl"
+	"repro/internal/sim"
+)
+
+// RunConfig parameterizes one probing run.
+type RunConfig struct {
+	Flow     int
+	PktSize  int          // bytes (the paper used 48 and 400)
+	Interval sim.Duration // inter-probe gap (default 1 ms)
+	Duration sim.Duration // measurement length (default 5 min, like the paper)
+}
+
+func (c *RunConfig) fillDefaults() {
+	if c.PktSize == 0 {
+		c.PktSize = 48
+	}
+	if c.Interval == 0 {
+		c.Interval = sim.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * 60 * sim.Second
+	}
+}
+
+// Result is the outcome of one probing run.
+type Result struct {
+	PktSize  int
+	Interval sim.Duration
+	Sent     int64
+	Received int64
+
+	// LossSendTimes are the (exactly reconstructed) send times of the lost
+	// probes, in order. With a CBR schedule the send time of missing seq k
+	// is start + k·interval.
+	LossSendTimes []sim.Time
+
+	// PathRTT is carried through for RTT normalization in analysis.
+	PathRTT sim.Duration
+}
+
+// LossRate reports the fraction of probes lost.
+func (r Result) LossRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Sent-r.Received) / float64(r.Sent)
+}
+
+// Intervals returns inter-loss gaps.
+func (r Result) Intervals() []sim.Duration {
+	if len(r.LossSendTimes) < 2 {
+		return nil
+	}
+	out := make([]sim.Duration, 0, len(r.LossSendTimes)-1)
+	for i := 1; i < len(r.LossSendTimes); i++ {
+		out = append(out, r.LossSendTimes[i].Sub(r.LossSendTimes[i-1]))
+	}
+	return out
+}
+
+// BackToBackFraction reports the fraction of inter-loss gaps equal to the
+// probe interval — the prober's view of loss clustering.
+func (r Result) BackToBackFraction() float64 {
+	iv := r.Intervals()
+	if len(iv) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range iv {
+		if d <= r.Interval {
+			n++
+		}
+	}
+	return float64(n) / float64(len(iv))
+}
+
+// Run probes the given path once. The path process continues from wherever
+// it is (the paper's two validation runs sample the same path at different
+// times). The scheduler is advanced past the run.
+func Run(sched *sim.Scheduler, path *planetlab.Path, cfg RunConfig) Result {
+	if sched == nil || path == nil {
+		panic("probe: Run requires scheduler and path")
+	}
+	cfg.fillDefaults()
+
+	received := make(map[int64]bool)
+	collector := netsim.HandlerFunc(func(p *netsim.Packet) { received[p.Seq] = true })
+	ch := planetlab.NewChannel(sched, path, collector)
+
+	start := sched.Now()
+	cbr := ratectl.NewCBR(sched, ch, ratectl.CBRConfig{
+		Flow:    cfg.Flow,
+		PktSize: cfg.PktSize,
+		// Rate such that the packet interval equals cfg.Interval.
+		Rate:     int64(cfg.PktSize) * 8 * int64(sim.Second) / int64(cfg.Interval),
+		Duration: cfg.Duration,
+	})
+	cbr.Start()
+	// Drain in-flight deliveries after the last probe.
+	sched.RunUntil(start.Add(cfg.Duration + path.Params.RTT + sim.Second))
+	cbr.Stop()
+
+	res := Result{
+		PktSize:  cfg.PktSize,
+		Interval: cbr.Interval(),
+		Sent:     cbr.Seq(),
+		PathRTT:  path.Params.RTT,
+	}
+	for seq := int64(0); seq < res.Sent; seq++ {
+		if received[seq] {
+			res.Received++
+		} else {
+			res.LossSendTimes = append(res.LossSendTimes,
+				start.Add(sim.Duration(seq)*cbr.Interval()))
+		}
+	}
+	return res
+}
+
+// ValidationError describes why a dual-run measurement was rejected.
+type ValidationError struct {
+	Reason string
+	A, B   Result
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("probe: validation failed: %s (A: p=%.4f b2b=%.2f, B: p=%.4f b2b=%.2f)",
+		e.Reason, e.A.LossRate(), e.A.BackToBackFraction(),
+		e.B.LossRate(), e.B.BackToBackFraction())
+}
+
+// Validate applies the paper's acceptance test: the two runs must exhibit
+// similar loss patterns. We require loss rates within a factor of 3 of
+// each other (or both tiny) and back-to-back fractions within 0.35
+// absolute. (The paper does not publish its thresholds; these are chosen
+// to reject pathological asymmetry while tolerating sampling noise over
+// 5-minute runs.)
+func Validate(a, b Result) error {
+	pa, pb := a.LossRate(), b.LossRate()
+	const tiny = 1e-4
+	if pa < tiny && pb < tiny {
+		return nil // both effectively lossless: nothing to compare
+	}
+	lo, hi := pa, pb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo == 0 || hi/lo > 3 {
+		return &ValidationError{Reason: "loss rates dissimilar", A: a, B: b}
+	}
+	da := a.BackToBackFraction() - b.BackToBackFraction()
+	if da < 0 {
+		da = -da
+	}
+	if da > 0.35 {
+		return &ValidationError{Reason: "burstiness dissimilar", A: a, B: b}
+	}
+	return nil
+}
+
+// Measurement is a validated dual-run measurement of one path.
+type Measurement struct {
+	Small, Large Result
+	Valid        bool
+}
+
+// MeasurePath runs the full paper protocol on a path: a 48-byte run
+// followed by a 400-byte run, then validation. Both runs use the same
+// probe interval and duration from cfg (PktSize is overridden).
+func MeasurePath(sched *sim.Scheduler, path *planetlab.Path, cfg RunConfig) Measurement {
+	small := cfg
+	small.PktSize = 48
+	a := Run(sched, path, small)
+	large := cfg
+	large.PktSize = 400
+	large.Flow = cfg.Flow + 1
+	b := Run(sched, path, large)
+	return Measurement{Small: a, Large: b, Valid: Validate(a, b) == nil}
+}

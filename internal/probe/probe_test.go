@@ -1,0 +1,157 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/planetlab"
+	"repro/internal/sim"
+)
+
+func losslessPath() *planetlab.Path {
+	return planetlab.NewPath(planetlab.PathParams{
+		RTT: 50 * sim.Millisecond,
+	}, sim.NewRand(1))
+}
+
+func burstyPath(seed int64) *planetlab.Path {
+	return planetlab.NewPath(planetlab.PathParams{
+		RTT:           100 * sim.Millisecond,
+		EpisodeRate:   1.0,
+		MeanEpisode:   15 * sim.Millisecond,
+		LossInEpisode: 0.9,
+		Background:    1e-4,
+	}, sim.NewRand(seed))
+}
+
+func TestRunLosslessPath(t *testing.T) {
+	s := sim.NewScheduler()
+	res := Run(s, losslessPath(), RunConfig{Flow: 1, Duration: 10 * sim.Second})
+	if res.Sent == 0 || res.Received != res.Sent {
+		t.Fatalf("sent=%d received=%d", res.Sent, res.Received)
+	}
+	if res.LossRate() != 0 || len(res.LossSendTimes) != 0 {
+		t.Fatal("losses on a lossless path")
+	}
+	if res.Intervals() != nil || res.BackToBackFraction() != 0 {
+		t.Fatal("interval stats on lossless path")
+	}
+	// 10 s at 1 ms default interval ⇒ ~10,000 probes.
+	if res.Sent < 9990 || res.Sent > 10010 {
+		t.Fatalf("sent = %d, want ≈10000", res.Sent)
+	}
+}
+
+func TestRunDetectsBurstyLosses(t *testing.T) {
+	s := sim.NewScheduler()
+	res := Run(s, burstyPath(2), RunConfig{Flow: 1, Duration: 60 * sim.Second})
+	if len(res.LossSendTimes) < 50 {
+		t.Fatalf("only %d losses detected", len(res.LossSendTimes))
+	}
+	if res.LossRate() <= 0 || res.LossRate() > 0.2 {
+		t.Fatalf("loss rate = %v", res.LossRate())
+	}
+	// Clustering: a large share of gaps at the probe interval.
+	if res.BackToBackFraction() < 0.4 {
+		t.Fatalf("back-to-back fraction = %v; episodes should cluster losses",
+			res.BackToBackFraction())
+	}
+	// Loss send times are on the CBR grid and increasing.
+	for i, ts := range res.LossSendTimes {
+		if int64(ts)%int64(res.Interval) != 0 {
+			t.Fatalf("loss %d at off-grid time %v", i, ts)
+		}
+		if i > 0 && ts <= res.LossSendTimes[i-1] {
+			t.Fatal("loss times not increasing")
+		}
+	}
+}
+
+func TestRunSequentialRunsAdvanceTime(t *testing.T) {
+	s := sim.NewScheduler()
+	p := losslessPath()
+	Run(s, p, RunConfig{Flow: 1, Duration: 5 * sim.Second})
+	t0 := s.Now()
+	Run(s, p, RunConfig{Flow: 2, Duration: 5 * sim.Second})
+	if s.Now() <= t0 {
+		t.Fatal("second run did not advance time")
+	}
+}
+
+func TestValidateAcceptsSimilarRuns(t *testing.T) {
+	s := sim.NewScheduler()
+	p := burstyPath(3)
+	m := MeasurePath(s, p, RunConfig{Flow: 1, Duration: 120 * sim.Second})
+	if !m.Valid {
+		t.Fatalf("similar dual runs rejected: A p=%v b2b=%v, B p=%v b2b=%v",
+			m.Small.LossRate(), m.Small.BackToBackFraction(),
+			m.Large.LossRate(), m.Large.BackToBackFraction())
+	}
+	if m.Small.PktSize != 48 || m.Large.PktSize != 400 {
+		t.Fatalf("packet sizes: %d/%d", m.Small.PktSize, m.Large.PktSize)
+	}
+}
+
+func TestValidateRejectsDissimilarLossRates(t *testing.T) {
+	a := Result{Sent: 10000, Received: 9000, Interval: sim.Millisecond} // 10%
+	b := Result{Sent: 10000, Received: 9990, Interval: sim.Millisecond} // 0.1%
+	err := Validate(a, b)
+	if err == nil {
+		t.Fatal("dissimilar rates accepted")
+	}
+	if !strings.Contains(err.Error(), "loss rates dissimilar") {
+		t.Fatalf("wrong reason: %v", err)
+	}
+}
+
+func TestValidateRejectsDissimilarBurstiness(t *testing.T) {
+	// Same loss rate; A's losses back to back, B's spread out.
+	mk := func(spread sim.Duration) Result {
+		r := Result{Sent: 100000, Received: 99900, Interval: sim.Millisecond}
+		for i := 0; i < 100; i++ {
+			r.LossSendTimes = append(r.LossSendTimes,
+				sim.Time(int64(i)*int64(spread)))
+		}
+		return r
+	}
+	a := mk(sim.Millisecond)       // all gaps = interval
+	b := mk(500 * sim.Millisecond) // all gaps huge
+	err := Validate(a, b)
+	if err == nil {
+		t.Fatal("dissimilar burstiness accepted")
+	}
+	if !strings.Contains(err.Error(), "burstiness") {
+		t.Fatalf("wrong reason: %v", err)
+	}
+}
+
+func TestValidateAcceptsBothLossless(t *testing.T) {
+	a := Result{Sent: 10000, Received: 10000}
+	b := Result{Sent: 10000, Received: 10000}
+	if err := Validate(a, b); err != nil {
+		t.Fatalf("lossless pair rejected: %v", err)
+	}
+}
+
+func TestValidateZeroVsNonzero(t *testing.T) {
+	a := Result{Sent: 10000, Received: 10000} // 0
+	b := Result{Sent: 10000, Received: 9000}  // 10%
+	if err := Validate(a, b); err == nil {
+		t.Fatal("zero-vs-10% accepted")
+	}
+}
+
+func TestResultLossRateEmpty(t *testing.T) {
+	if (Result{}).LossRate() != 0 {
+		t.Fatal("empty result loss rate")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(nil, nil, RunConfig{})
+}

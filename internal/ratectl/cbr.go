@@ -1,0 +1,112 @@
+// Package ratectl implements the rate-based transports of the paper: a
+// constant-bit-rate (CBR) source — the measurement instrument used for the
+// PlanetLab probes — and TFRC (RFC 3448), the equation-based congestion
+// control whose unfair competition against window-based TCP the paper
+// explains.
+package ratectl
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// CBRConfig parameterizes a constant-bit-rate source.
+type CBRConfig struct {
+	Flow    int
+	Src     int
+	Dst     int
+	PktSize int   // bytes per packet
+	Rate    int64 // bits per second
+
+	// Duration stops the source after this much simulated time; zero means
+	// run until stopped.
+	Duration sim.Duration
+}
+
+// CBR emits fixed-size packets at a fixed rate with perfectly even spacing
+// — the paper's probe traffic, chosen precisely because it has no sub-RTT
+// burstiness of its own.
+type CBR struct {
+	sched *sim.Scheduler
+	out   netsim.Handler
+	cfg   CBRConfig
+
+	interval sim.Duration
+	timer    *sim.Event
+	stopAt   sim.Time
+	seq      int64
+	pktID    uint64
+	running  bool
+
+	// Sent counts emitted packets.
+	Sent uint64
+}
+
+// NewCBR builds a CBR source.
+func NewCBR(sched *sim.Scheduler, out netsim.Handler, cfg CBRConfig) *CBR {
+	if sched == nil || out == nil {
+		panic("ratectl: NewCBR requires scheduler and output")
+	}
+	if cfg.PktSize <= 0 || cfg.Rate <= 0 {
+		panic("ratectl: CBR needs positive packet size and rate")
+	}
+	interval := sim.Duration(int64(cfg.PktSize) * 8 * int64(sim.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = sim.Nanosecond
+	}
+	return &CBR{sched: sched, out: out, cfg: cfg, interval: interval}
+}
+
+// Interval reports the inter-packet gap.
+func (c *CBR) Interval() sim.Duration { return c.interval }
+
+// Start begins emission; the first packet leaves immediately.
+func (c *CBR) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	if c.cfg.Duration > 0 {
+		c.stopAt = c.sched.Now().Add(c.cfg.Duration)
+	}
+	c.emit()
+}
+
+// Stop halts emission.
+func (c *CBR) Stop() {
+	c.running = false
+	if c.timer != nil {
+		c.sched.Cancel(c.timer)
+		c.timer = nil
+	}
+}
+
+// Seq reports the next sequence number to be sent (== packets sent).
+func (c *CBR) Seq() int64 { return c.seq }
+
+func (c *CBR) emit() {
+	if !c.running {
+		return
+	}
+	if c.stopAt != 0 && c.sched.Now() >= c.stopAt {
+		c.running = false
+		return
+	}
+	c.pktID++
+	c.out.Handle(&netsim.Packet{
+		ID:       c.pktID,
+		Flow:     c.cfg.Flow,
+		Kind:     netsim.Data,
+		Size:     c.cfg.PktSize,
+		Seq:      c.seq,
+		Src:      c.cfg.Src,
+		Dst:      c.cfg.Dst,
+		SendTime: c.sched.Now(),
+	})
+	c.seq++
+	c.Sent++
+	c.timer = c.sched.After(c.interval, func() {
+		c.timer = nil
+		c.emit()
+	})
+}

@@ -1,0 +1,29 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a seeded random source. Every stochastic component in the
+// repository takes one of these explicitly, so that an experiment's single
+// top-level seed fully determines the run.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SubSeed derives a stable child seed from a parent seed and an index, so
+// experiment configs can hand independent streams to each component without
+// correlation. It uses the SplitMix64 finalizer, which decorrelates
+// sequential indices well.
+func SubSeed(parent int64, index int64) int64 {
+	z := uint64(parent) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Exponential draws an exponentially distributed duration with the given
+// mean. It is the inter-arrival law of a Poisson process and is used by the
+// on-off cross-traffic sources and the Poisson reference processes.
+func Exponential(rng *rand.Rand, mean Duration) Duration {
+	return Duration(rng.ExpFloat64() * float64(mean))
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created by Scheduler.At and
+// Scheduler.After and may be cancelled before they fire. A fired or
+// cancelled Event is inert; cancelling it again is a no-op.
+type Event struct {
+	t        Time
+	seq      uint64 // FIFO tie-break for events at the same instant
+	index    int    // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.t }
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Scheduler is a deterministic discrete-event executor. The zero value is
+// ready to use. Scheduler is not safe for concurrent use: the simulated
+// world is single-threaded by design, which is what makes runs reproducible.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired reports how many events have executed so far. Useful for tests and
+// for cost accounting in benchmarks.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued and not cancelled.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// that is always a logic error in a discrete-event model.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	e := &Event{t: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes e from the queue if it has not fired. It is safe to call
+// with a nil event.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Halt stops the currently executing Run/RunUntil after the current event
+// returns. Queued events are retained, so the run can be resumed.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Step executes the single earliest pending event. It reports false when the
+// queue is empty.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.t
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled exactly at t do fire.
+func (s *Scheduler) RunUntil(t Time) {
+	s.halted = false
+	for !s.halted {
+		e := s.peek()
+		if e == nil || e.t > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for d of simulated time from now.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Scheduler) peek() *Event {
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, seq); seq provides stable FIFO order for
+// simultaneous events so runs are reproducible.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

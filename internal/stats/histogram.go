@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin-width histogram over [0, BinWidth·NumBins).
+// Values below zero panic (loss intervals are nonnegative by construction);
+// values at or beyond the top edge are counted in Overflow so the PDF over
+// the plotted range stays honest.
+type Histogram struct {
+	BinWidth float64
+	counts   []int64
+	total    int64
+	Overflow int64
+}
+
+// NewHistogram builds a histogram with n bins of width w. The paper's PDFs
+// use w = 0.02 RTT over [0, 2 RTT], i.e. n = 100.
+func NewHistogram(w float64, n int) *Histogram {
+	if w <= 0 || n <= 0 {
+		panic("stats: histogram needs positive bin width and count")
+	}
+	return &Histogram{BinWidth: w, counts: make([]int64, n)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	if x < 0 || math.IsNaN(x) {
+		panic(fmt.Sprintf("stats: histogram add %v", x))
+	}
+	idx := int(x / h.BinWidth)
+	if idx >= len(h.counts) {
+		h.Overflow++
+	} else {
+		h.counts[idx]++
+	}
+	h.total++
+}
+
+// AddAll counts a batch of observations.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// NumBins reports the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.counts) }
+
+// Total reports all observations including overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the raw count of bin i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// BinCenter returns the midpoint of bin i, for plotting.
+func (h *Histogram) BinCenter(i int) float64 {
+	return (float64(i) + 0.5) * h.BinWidth
+}
+
+// PMF returns the per-bin probability mass (count/total), the quantity the
+// paper plots on its log-scale Y axes. Empty histogram yields all zeros.
+func (h *Histogram) PMF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Density returns the PDF estimate: PMF divided by bin width, so the curve
+// integrates to the in-range mass.
+func (h *Histogram) Density() []float64 {
+	out := h.PMF()
+	for i := range out {
+		out[i] /= h.BinWidth
+	}
+	return out
+}
+
+// CDF returns the cumulative in-range distribution at each bin's right
+// edge.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// FractionBelow reports the fraction of all observations (including
+// overflow in the denominator) strictly less than x. The paper's headline
+// numbers — "95% of losses cluster within 0.01 RTT" — are this quantity.
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum int64
+	limit := x / h.BinWidth
+	whole := int(math.Floor(limit))
+	for i := 0; i < whole && i < len(h.counts); i++ {
+		cum += h.counts[i]
+	}
+	// Partial bin: assume uniform spread inside the bin.
+	if whole >= 0 && whole < len(h.counts) {
+		frac := limit - float64(whole)
+		cum += int64(frac * float64(h.counts[whole]))
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// ExponentialPMF returns the per-bin probability mass of an exponential
+// (Poisson inter-arrival) distribution with the given rate λ (events per
+// unit), over the same bins as h: P(bin i) = e^{-λ·l} − e^{-λ·r}. This is
+// the paper's "Poisson process with the same average arrival rate" overlay.
+func (h *Histogram) ExponentialPMF(lambda float64) []float64 {
+	out := make([]float64, len(h.counts))
+	if lambda <= 0 {
+		return out
+	}
+	for i := range out {
+		l := float64(i) * h.BinWidth
+		r := l + h.BinWidth
+		out[i] = math.Exp(-lambda*l) - math.Exp(-lambda*r)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package stats provides the statistical machinery the paper's analysis
+// uses: fixed-bin histograms/PDFs (bin size 0.02 RTT in the paper),
+// Poisson/exponential references with matched rate, summary moments,
+// quantiles, and the index of dispersion used to quantify burstiness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the standard moments of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(len(xs)-1)
+		s.Std = math.Sqrt(s.Var)
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It copies xs, so the input is not
+// reordered. Panics on empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean is a convenience for Summarize(xs).Mean on hot paths.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// IndexOfDispersion returns Var/Mean of event counts in fixed windows — 1
+// for a Poisson process, ≫1 for a bursty process. It is the paper's
+// "more rigorous analysis" direction and our quantitative burstiness
+// check. times must be nondecreasing; window > 0.
+func IndexOfDispersion(times []float64, window float64) float64 {
+	if len(times) == 0 || window <= 0 {
+		return 0
+	}
+	end := times[len(times)-1]
+	nwin := int(end/window) + 1
+	counts := make([]float64, nwin)
+	for _, t := range times {
+		idx := int(t / window)
+		if idx >= nwin {
+			idx = nwin - 1
+		}
+		counts[idx]++
+	}
+	s := Summarize(counts)
+	if s.Mean == 0 {
+		return 0
+	}
+	// Population variance is conventional for IoD.
+	var ss float64
+	for _, c := range counts {
+		d := c - s.Mean
+		ss += d * d
+	}
+	return (ss / float64(len(counts))) / s.Mean
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs.
+func Autocorrelation(xs []float64, k int) float64 {
+	if k < 0 || k >= len(xs) {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < len(xs)-k; i++ {
+		num += (xs[i] - m) * (xs[i+k] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

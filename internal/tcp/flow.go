@@ -1,0 +1,41 @@
+package tcp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Flow bundles a sender/receiver pair wired onto a dumbbell endpoint pair.
+type Flow struct {
+	Sender   *Sender
+	Receiver *Receiver
+}
+
+// NewDumbbellFlow wires a TCP flow onto pair i of a dumbbell. The supplied
+// cfg's Flow/Src/Dst fields are filled in; other fields are respected.
+func NewDumbbellFlow(d *netsim.Dumbbell, i int, flowID int, cfg Config) *Flow {
+	cfg.Flow = flowID
+	cfg.Src = netsim.SenderAddr(i)
+	cfg.Dst = netsim.ReceiverAddr(i)
+
+	snd := NewSender(d.Sched, d.SenderNode(i), cfg)
+	rcv := NewReceiver(d.Sched, d.ReceiverNode(i), flowID, cfg.Dst, cfg.Src, cfg.AckSize)
+	d.ReceiverNode(i).Bind(flowID, rcv)
+	d.SenderNode(i).Bind(flowID, snd)
+	return &Flow{Sender: snd, Receiver: rcv}
+}
+
+// GoodputBits reports the bits delivered in-order to the receiver so far
+// (cumulative-ack packets times packet size).
+func (f *Flow) GoodputBits(pktSize int) int64 {
+	return f.Receiver.CumAck() * int64(pktSize) * 8
+}
+
+// StartAt schedules the flow to begin at the given simulated time.
+func (f *Flow) StartAt(sched *sim.Scheduler, at sim.Time) {
+	if at <= sched.Now() {
+		f.Sender.Start()
+		return
+	}
+	sched.At(at, f.Sender.Start)
+}

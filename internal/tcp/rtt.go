@@ -1,0 +1,71 @@
+package tcp
+
+import "repro/internal/sim"
+
+// rttEstimator implements the RFC 6298 smoothed RTT / RTO computation with
+// Karn's algorithm applied by the caller (retransmitted segments are never
+// timed).
+type rttEstimator struct {
+	srtt   sim.Duration
+	rttvar sim.Duration
+	last   sim.Duration // most recent raw sample (for delay-based control)
+	valid  bool
+
+	// MinRTO clamps the computed RTO from below (ns-2 era TCPs used
+	// 200 ms–1 s; we default to 200 ms in Config).
+	MinRTO sim.Duration
+	// MaxRTO clamps from above.
+	MaxRTO sim.Duration
+	// InitialRTO is used before the first sample.
+	InitialRTO sim.Duration
+}
+
+// Sample feeds one RTT measurement.
+func (e *rttEstimator) Sample(rtt sim.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	e.last = rtt
+	if !e.valid {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.valid = true
+		return
+	}
+	// rttvar = 3/4 rttvar + 1/4 |srtt - rtt|; srtt = 7/8 srtt + 1/8 rtt
+	diff := e.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}
+
+// SRTT reports the smoothed RTT, or fallback before any sample.
+func (e *rttEstimator) SRTT(fallback sim.Duration) sim.Duration {
+	if !e.valid {
+		return fallback
+	}
+	return e.srtt
+}
+
+// HasSample reports whether at least one measurement was taken.
+func (e *rttEstimator) HasSample() bool { return e.valid }
+
+// LastSample reports the most recent raw RTT measurement.
+func (e *rttEstimator) LastSample() sim.Duration { return e.last }
+
+// RTO reports the current retransmission timeout (before backoff).
+func (e *rttEstimator) RTO() sim.Duration {
+	if !e.valid {
+		return e.InitialRTO
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.MinRTO {
+		rto = e.MinRTO
+	}
+	if e.MaxRTO > 0 && rto > e.MaxRTO {
+		rto = e.MaxRTO
+	}
+	return rto
+}

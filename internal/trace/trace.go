@@ -1,0 +1,203 @@
+// Package trace records and serializes the event traces the experiments
+// analyze: packet drops at routers (the paper's loss traces), per-packet
+// arrivals at probers, and flow throughput samples. Traces can round-trip
+// through CSV for the command-line tools.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// LossEvent is one dropped (or, in the PlanetLab model, lost-in-path)
+// packet: the unit of every burstiness analysis in the paper.
+type LossEvent struct {
+	At   sim.Time // when the drop happened
+	Flow int      // owning flow
+	Seq  int64    // sequence number of the dropped packet
+	Size int      // bytes
+}
+
+// Recorder collects loss events in arrival order. The zero value is ready.
+// It is intended to be installed as a netsim.Port.OnDrop callback; the
+// simulated world is single-threaded so no locking is needed.
+type Recorder struct {
+	events []LossEvent
+}
+
+// Add appends a loss event.
+func (r *Recorder) Add(e LossEvent) { r.events = append(r.events, e) }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events in arrival order. The returned slice
+// is owned by the recorder; callers must not mutate it.
+func (r *Recorder) Events() []LossEvent { return r.events }
+
+// Times extracts just the timestamps, in order.
+func (r *Recorder) Times() []sim.Time {
+	out := make([]sim.Time, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.At
+	}
+	return out
+}
+
+// Reset discards all recorded events, keeping capacity.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Sorted reports whether events are in nondecreasing time order (they
+// always are when recorded from a single router, but merged traces may
+// need sorting).
+func (r *Recorder) Sorted() bool {
+	return sort.SliceIsSorted(r.events, func(i, j int) bool {
+		return r.events[i].At < r.events[j].At
+	})
+}
+
+// SortByTime sorts events into nondecreasing time order (stable, so ties
+// keep their original relative order).
+func (r *Recorder) SortByTime() {
+	sort.SliceStable(r.events, func(i, j int) bool {
+		return r.events[i].At < r.events[j].At
+	})
+}
+
+// Merge combines several recorders into one time-sorted recorder, used when
+// an experiment records losses at multiple routers.
+func Merge(rs ...*Recorder) *Recorder {
+	out := &Recorder{}
+	for _, r := range rs {
+		out.events = append(out.events, r.events...)
+	}
+	out.SortByTime()
+	return out
+}
+
+// Intervals returns the time differences between consecutive events —
+// the paper's "loss intervals". An empty or single-event trace yields nil.
+func (r *Recorder) Intervals() []sim.Duration {
+	if len(r.events) < 2 {
+		return nil
+	}
+	out := make([]sim.Duration, 0, len(r.events)-1)
+	for i := 1; i < len(r.events); i++ {
+		out = append(out, r.events[i].At.Sub(r.events[i-1].At))
+	}
+	return out
+}
+
+// csv columns: at_ns, flow, seq, size
+var csvHeader = []string{"at_ns", "flow", "seq", "size"}
+
+// WriteCSV streams the trace to w with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, 4)
+	for _, e := range r.events {
+		row[0] = strconv.FormatInt(int64(e.At), 10)
+		row[1] = strconv.Itoa(e.Flow)
+		row[2] = strconv.FormatInt(e.Seq, 10)
+		row[3] = strconv.Itoa(e.Size)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(rd io.Reader) (*Recorder, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	if rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("trace: missing header, got %q", rows[0][0])
+	}
+	r := &Recorder{}
+	for i, row := range rows[1:] {
+		at, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad at_ns %q", i+1, row[0])
+		}
+		flow, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad flow %q", i+1, row[1])
+		}
+		seq, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad seq %q", i+1, row[2])
+		}
+		size, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad size %q", i+1, row[3])
+		}
+		r.Add(LossEvent{At: sim.Time(at), Flow: flow, Seq: seq, Size: size})
+	}
+	return r, nil
+}
+
+// ThroughputSample is one bin of a flow-throughput time series (Figure 7's
+// aggregate-throughput-vs-time curves are built from these).
+type ThroughputSample struct {
+	Start sim.Time
+	Bits  int64
+}
+
+// ThroughputSeries accumulates delivered bits into fixed bins.
+type ThroughputSeries struct {
+	Bin     sim.Duration
+	samples []int64
+}
+
+// NewThroughputSeries creates a series with the given bin width.
+func NewThroughputSeries(bin sim.Duration) *ThroughputSeries {
+	if bin <= 0 {
+		panic("trace: throughput bin must be positive")
+	}
+	return &ThroughputSeries{Bin: bin}
+}
+
+// Add credits bits delivered at time at.
+func (ts *ThroughputSeries) Add(at sim.Time, bits int64) {
+	idx := int(int64(at) / int64(ts.Bin))
+	for len(ts.samples) <= idx {
+		ts.samples = append(ts.samples, 0)
+	}
+	ts.samples[idx] += bits
+}
+
+// Mbps returns the series as megabits/second per bin.
+func (ts *ThroughputSeries) Mbps() []float64 {
+	out := make([]float64, len(ts.samples))
+	binSec := ts.Bin.Seconds()
+	for i, b := range ts.samples {
+		out[i] = float64(b) / 1e6 / binSec
+	}
+	return out
+}
+
+// Samples returns the raw per-bin bit counts.
+func (ts *ThroughputSeries) Samples() []ThroughputSample {
+	out := make([]ThroughputSample, len(ts.samples))
+	for i, b := range ts.samples {
+		out[i] = ThroughputSample{Start: sim.Time(int64(i) * int64(ts.Bin)), Bits: b}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	if r.Len() != 0 || r.Intervals() != nil {
+		t.Fatal("zero recorder not empty")
+	}
+	r.Add(LossEvent{At: sim.Time(1 * sim.Second), Flow: 1, Seq: 10, Size: 1000})
+	r.Add(LossEvent{At: sim.Time(3 * sim.Second), Flow: 2, Seq: 20, Size: 1000})
+	r.Add(LossEvent{At: sim.Time(4 * sim.Second), Flow: 1, Seq: 30, Size: 1000})
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	iv := r.Intervals()
+	if len(iv) != 2 || iv[0] != 2*sim.Second || iv[1] != sim.Second {
+		t.Fatalf("intervals = %v", iv)
+	}
+	ts := r.Times()
+	if len(ts) != 3 || ts[0] != sim.Time(sim.Second) {
+		t.Fatalf("times = %v", ts)
+	}
+	if !r.Sorted() {
+		t.Fatal("sorted trace reported unsorted")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRecorderSingleEventIntervals(t *testing.T) {
+	var r Recorder
+	r.Add(LossEvent{At: 5})
+	if r.Intervals() != nil {
+		t.Fatal("single event should have no intervals")
+	}
+}
+
+func TestSortAndMerge(t *testing.T) {
+	a := &Recorder{}
+	a.Add(LossEvent{At: 30, Flow: 1})
+	a.Add(LossEvent{At: 10, Flow: 1})
+	if a.Sorted() {
+		t.Fatal("unsorted trace reported sorted")
+	}
+	a.SortByTime()
+	if !a.Sorted() {
+		t.Fatal("sort failed")
+	}
+
+	b := &Recorder{}
+	b.Add(LossEvent{At: 20, Flow: 2})
+	m := Merge(a, b)
+	if m.Len() != 3 || !m.Sorted() {
+		t.Fatalf("merge: len=%d sorted=%v", m.Len(), m.Sorted())
+	}
+	if m.Events()[1].Flow != 2 {
+		t.Fatal("merge order wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := &Recorder{}
+	r.Add(LossEvent{At: sim.Time(123456789), Flow: 3, Seq: 42, Size: 1500})
+	r.Add(LossEvent{At: sim.Time(223456789), Flow: 4, Seq: -1, Size: 48})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i, e := range got.Events() {
+		if e != r.Events()[i] {
+			t.Fatalf("event %d: %+v != %+v", i, e, r.Events()[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"no header":  "1,2,3,4\n",
+		"bad at":     "at_ns,flow,seq,size\nxx,1,2,3\n",
+		"bad flow":   "at_ns,flow,seq,size\n1,xx,2,3\n",
+		"bad seq":    "at_ns,flow,seq,size\n1,2,xx,3\n",
+		"bad size":   "at_ns,flow,seq,size\n1,2,3,xx\n",
+		"wrong cols": "at_ns,flow,seq\n1,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+	}
+}
+
+func TestCSVPropertyRoundTrip(t *testing.T) {
+	f := func(ats []int64, flows []int16) bool {
+		r := &Recorder{}
+		for i, at := range ats {
+			if at < 0 {
+				at = -at
+			}
+			fl := 0
+			if i < len(flows) {
+				fl = int(flows[i])
+			}
+			r.Add(LossEvent{At: sim.Time(at), Flow: fl, Seq: int64(i), Size: i % 2000})
+		}
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != r.Len() {
+			return false
+		}
+		for i := range got.Events() {
+			if got.Events()[i] != r.Events()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	ts := NewThroughputSeries(sim.Second)
+	ts.Add(sim.Time(100*sim.Millisecond), 1_000_000)
+	ts.Add(sim.Time(900*sim.Millisecond), 1_000_000)
+	ts.Add(sim.Time(1500*sim.Millisecond), 4_000_000)
+	mbps := ts.Mbps()
+	if len(mbps) != 2 {
+		t.Fatalf("bins = %d", len(mbps))
+	}
+	if mbps[0] != 2.0 || mbps[1] != 4.0 {
+		t.Fatalf("mbps = %v", mbps)
+	}
+	samples := ts.Samples()
+	if samples[1].Start != sim.Time(sim.Second) || samples[1].Bits != 4_000_000 {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestThroughputSeriesZeroBinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewThroughputSeries(0)
+}
