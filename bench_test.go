@@ -1,5 +1,5 @@
 // Package repro's root benchmark harness regenerates every table and
-// figure of the paper (see DESIGN.md's per-experiment index) at reduced
+// figure of the paper (see EXPERIMENTS.md's per-artifact index) at reduced
 // scale, reporting the headline quantity of each artifact as a custom
 // benchmark metric so the paper-vs-measured comparison in EXPERIMENTS.md
 // can be refreshed with:
@@ -171,7 +171,7 @@ func BenchmarkECNCoverage(b *testing.B) {
 	}
 }
 
-// --- Ablations called out in DESIGN.md §5 ---
+// --- Ablations (EXPERIMENTS.md lists each with its expectation) ---
 
 // BenchmarkAblationREDvsDropTail: RED should collapse the burstiness
 // (lower CoV) relative to DropTail, the paper's §5 remedy.
@@ -268,6 +268,44 @@ func BenchmarkAblationGEDwell(b *testing.B) {
 				b.ReportMetric(mean, "burstlen_longdwell")
 			}
 		}
+	}
+}
+
+// --- Parallel sweep harness ---
+
+// sweepFig2Cfg is the shared workload for the sweep benchmarks: four
+// replications of a reduced Figure 2 scenario.
+var sweepFig2Cfg = core.Fig2Config{
+	Seed: 1, Flows: 16, Duration: 15 * sim.Second, Warmup: 3 * sim.Second,
+}
+
+// BenchmarkSweepFigure2Sequential replays four Figure 2 replications on a
+// single worker — the seed repo's inline loop, expressed through
+// internal/exp.
+func BenchmarkSweepFigure2Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep, err := core.SweepFigure2(sweepFig2Cfg,
+			core.SweepOptions{Replications: 4, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sweep.Summary.FracBelow001.Mean, "frac001_mean")
+	}
+}
+
+// BenchmarkSweepFigure2Parallel runs the identical sweep across GOMAXPROCS
+// workers. The results are bit-identical to the sequential run (the
+// replications are independently seeded worlds); only wall-clock changes —
+// compare ns/op against BenchmarkSweepFigure2Sequential to see the
+// speedup on multi-core hardware.
+func BenchmarkSweepFigure2Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep, err := core.SweepFigure2(sweepFig2Cfg,
+			core.SweepOptions{Replications: 4, Workers: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sweep.Summary.FracBelow001.Mean, "frac001_mean")
 	}
 }
 

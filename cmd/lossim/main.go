@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,25 +21,37 @@ import (
 )
 
 func main() {
-	var (
-		env      = flag.String("env", "ns2", "environment: ns2 (Figure 2) or dummynet (Figure 3)")
-		flows    = flag.Int("flows", 16, "TCP flows (ns2)")
-		perClass = flag.Int("flows-per-class", 4, "flows per RTT class (dummynet)")
-		duration = flag.Duration("duration", 60*time.Second, "simulated duration")
-		warmup   = flag.Duration("warmup", 10*time.Second, "warmup excluded from the trace")
-		buffer   = flag.Float64("buffer-bdp", 0.5, "bottleneck buffer as a fraction of BDP (paper sweeps 1/8..2)")
-		noise    = flag.Float64("noise", 0.10, "on-off noise load as a fraction of capacity")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		out      = flag.String("o", "-", "output file for the CSV trace ('-' = stdout)")
-		summary  = flag.Bool("summary", true, "print the burstiness summary to stderr")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var w io.Writer = os.Stdout
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lossim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		env      = fs.String("env", "ns2", "environment: ns2 (Figure 2) or dummynet (Figure 3)")
+		flows    = fs.Int("flows", 16, "TCP flows (ns2)")
+		perClass = fs.Int("flows-per-class", 4, "flows per RTT class (dummynet)")
+		duration = fs.Duration("duration", 60*time.Second, "simulated duration")
+		warmup   = fs.Duration("warmup", 10*time.Second, "warmup excluded from the trace")
+		buffer   = fs.Float64("buffer-bdp", 0.5, "bottleneck buffer as a fraction of BDP (paper sweeps 1/8..2)")
+		noise    = fs.Float64("noise", 0.10, "on-off noise load as a fraction of capacity")
+		seed     = fs.Int64("seed", 1, "experiment seed")
+		out      = fs.String("o", "-", "output file for the CSV trace ('-' = stdout)")
+		summary  = fs.Bool("summary", true, "print the burstiness summary to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	var w io.Writer = stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "lossim:", err)
+			return 1
 		}
 		defer f.Close()
 		w = f
@@ -66,24 +79,22 @@ func main() {
 			Warmup:        sim.Dur(*warmup),
 		})
 	default:
-		fatal(fmt.Errorf("unknown -env %q (want ns2 or dummynet)", *env))
+		err = fmt.Errorf("unknown -env %q (want ns2 or dummynet)", *env)
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lossim:", err)
+		return 1
 	}
 	if err := res.Trace.WriteCSV(w); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lossim:", err)
+		return 1
 	}
 	if *summary {
 		r := res.Report
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"env=%s drops=%d mean_rtt=%v lambda=%.2f/RTT frac<0.01RTT=%.3f frac<1RTT=%.3f CoV=%.1f IoD=%.1f\n",
 			*env, res.Drops, res.MeanRTT, r.Lambda, r.FracBelow001, r.FracBelow1,
 			r.CoV, r.IndexOfDispersion)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lossim:", err)
-	os.Exit(1)
+	return 0
 }

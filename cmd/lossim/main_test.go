@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesTraceAndSummary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-env", "ns2", "-flows", "4", "-duration", "8s", "-warmup", "1s",
+		"-seed", "1", "-o", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace too short:\n%s", data)
+	}
+	if !strings.Contains(stderr.String(), "env=ns2 drops=") {
+		t.Fatalf("missing summary: %s", stderr.String())
+	}
+}
+
+func TestRunDummynetToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-env", "dummynet", "-flows-per-class", "2", "-duration", "10s",
+		"-warmup", "2s", "-summary=false",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("summary printed despite -summary=false: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "\n") {
+		t.Fatal("no CSV on stdout")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-env", "marsnet", "-duration", "1s"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad -env: exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "marsnet") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h: exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "Usage of lossim") {
+		t.Fatalf("usage not printed: %s", stderr.String())
+	}
+}

@@ -1,6 +1,8 @@
 // Command lossprobe runs the PlanetLab-style measurement: CBR probes over
 // directed paths of the synthetic 26-site mesh, with the paper's dual
-// packet-size validation, and prints per-path results.
+// packet-size validation, and prints per-path results. Paths are measured
+// concurrently through the internal/exp runner; the output order and
+// every number are independent of the worker count.
 //
 // Usage:
 //
@@ -9,68 +11,88 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/planetlab"
 	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lossprobe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		paths    = flag.Int("paths", 10, "number of random directed paths to measure")
-		src      = flag.Int("src", -1, "source site index (measure one path)")
-		dst      = flag.Int("dst", -1, "destination site index (measure one path)")
-		duration = flag.Duration("duration", time.Minute, "per-run probe duration")
-		interval = flag.Duration("interval", time.Millisecond, "probe interval")
-		seed     = flag.Int64("seed", 1, "mesh/measurement seed")
-		list     = flag.Bool("list", false, "list the 26 sites and exit")
+		paths    = fs.Int("paths", 10, "number of random directed paths to measure")
+		src      = fs.Int("src", -1, "source site index (measure one path)")
+		dst      = fs.Int("dst", -1, "destination site index (measure one path)")
+		duration = fs.Duration("duration", time.Minute, "per-run probe duration")
+		interval = fs.Duration("interval", time.Millisecond, "probe interval")
+		seed     = fs.Int64("seed", 1, "mesh/measurement seed")
+		workers  = fs.Int("workers", 0, "concurrent path measurements (0 = GOMAXPROCS)")
+		list     = fs.Bool("list", false, "list the 26 sites and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	mesh := planetlab.NewMesh(planetlab.MeshConfig{Seed: *seed})
 	if *list {
 		for i, s := range mesh.Sites {
-			fmt.Printf("%2d  %-45s %s\n", i, s.Host, s.Location)
+			fmt.Fprintf(stdout, "%2d  %-45s %s\n", i, s.Host, s.Location)
 		}
-		return
+		return 0
 	}
 
-	fmt.Println("# src\tdst\trtt_ms\tvalid\tloss_small\tloss_large\tb2b_small\tlosses")
-	measure := func(i, j int) {
-		sched := sim.NewScheduler()
-		path := mesh.NewPathProcess(i, j)
-		m := probe.MeasurePath(sched, path, probe.RunConfig{
-			Flow:     1,
-			Interval: sim.Dur(*interval),
-			Duration: sim.Dur(*duration),
-		})
-		fmt.Printf("%d\t%d\t%.1f\t%v\t%.5f\t%.5f\t%.2f\t%d\n",
-			i, j, path.Params.RTT.Seconds()*1e3, m.Valid,
-			m.Small.LossRate(), m.Large.LossRate(),
-			m.Small.BackToBackFraction(), len(m.Small.LossSendTimes))
-	}
-
+	var pairs [][2]int
 	if *src >= 0 && *dst >= 0 {
 		if *src == *dst || *src >= len(mesh.Sites) || *dst >= len(mesh.Sites) {
-			fmt.Fprintln(os.Stderr, "lossprobe: invalid site pair")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "lossprobe: invalid site pair")
+			return 2
 		}
-		measure(*src, *dst)
-		return
+		pairs = [][2]int{{*src, *dst}}
+	} else {
+		pick := sim.NewRand(sim.SubSeed(*seed, 99))
+		pairs = mesh.RandomPairs(pick, *paths)
 	}
 
-	pick := sim.NewRand(sim.SubSeed(*seed, 99))
-	seen := map[[2]int]bool{}
-	for len(seen) < *paths {
-		i, j := mesh.RandomPair(pick)
-		if seen[[2]int{i, j}] {
-			continue
-		}
-		seen[[2]int{i, j}] = true
-		measure(i, j)
+	fmt.Fprintln(stdout, "# src\tdst\trtt_ms\tvalid\tloss_small\tloss_large\tb2b_small\tlosses")
+	// Each path is an independent simulated world: measure them in
+	// parallel, print them in selection order.
+	results := exp.Sweep(exp.Options{Seed: *seed, Workers: *workers}, pairs,
+		func(r exp.Run[[2]int]) (string, error) {
+			i, j := r.Config[0], r.Config[1]
+			sched := sim.NewScheduler()
+			path := mesh.NewPathProcess(i, j)
+			m := probe.MeasurePath(sched, path, probe.RunConfig{
+				Flow:     1,
+				Interval: sim.Dur(*interval),
+				Duration: sim.Dur(*duration),
+			})
+			return fmt.Sprintf("%d\t%d\t%.1f\t%v\t%.5f\t%.5f\t%.2f\t%d\n",
+				i, j, path.Params.RTT.Seconds()*1e3, m.Valid,
+				m.Small.LossRate(), m.Large.LossRate(),
+				m.Small.BackToBackFraction(), len(m.Small.LossSendTimes)), nil
+		})
+	rows, err := exp.Values(results)
+	if err != nil {
+		fmt.Fprintln(stderr, "lossprobe:", err)
+		return 1
 	}
+	for _, row := range rows {
+		io.WriteString(stdout, row)
+	}
+	return 0
 }

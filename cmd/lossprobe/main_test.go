@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMeasuresPaths(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-paths", "3", "-duration", "5s", "-seed", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 4 { // header + 3 paths
+		t.Fatalf("rows:\n%s", stdout.String())
+	}
+	if !strings.HasPrefix(lines[0], "# src") {
+		t.Fatalf("missing header: %s", lines[0])
+	}
+}
+
+func TestRunWorkerInvariance(t *testing.T) {
+	args := []string{"-paths", "4", "-duration", "5s", "-seed", "7"}
+	var seq, par, stderr bytes.Buffer
+	if code := run(append([]string{"-workers", "1"}, args...), &seq, &stderr); code != 0 {
+		t.Fatalf("sequential: exit %d, %s", code, stderr.String())
+	}
+	if code := run(append([]string{"-workers", "4"}, args...), &par, &stderr); code != 0 {
+		t.Fatalf("parallel: exit %d, %s", code, stderr.String())
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("output depends on worker count:\n%s\nvs\n%s", seq.String(), par.String())
+	}
+}
+
+func TestRunSinglePathAndList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-src", "0", "-dst", "21", "-duration", "5s"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if got := len(strings.Split(strings.TrimSpace(stdout.String()), "\n")); got != 2 {
+		t.Fatalf("rows = %d:\n%s", got, stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("list: exit %d", code)
+	}
+	if got := len(strings.Split(strings.TrimSpace(stdout.String()), "\n")); got != 26 {
+		t.Fatalf("site rows = %d", got)
+	}
+
+	if code := run([]string{"-src", "5", "-dst", "5"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("self pair: exit %d", code)
+	}
+}

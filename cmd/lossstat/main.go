@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,45 +22,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lossstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		rtt   = flag.Duration("rtt", 100*time.Millisecond, "RTT used to normalize intervals")
-		bin   = flag.Float64("bin", 0.02, "PDF bin width in RTT units")
-		rng   = flag.Float64("range", 2.0, "PDF range in RTT units")
-		ascii = flag.Bool("ascii", false, "render an ASCII log-scale plot instead of rows")
+		rtt   = fs.Duration("rtt", 100*time.Millisecond, "RTT used to normalize intervals")
+		bin   = fs.Float64("bin", 0.02, "PDF bin width in RTT units")
+		rng   = fs.Float64("range", 2.0, "PDF range in RTT units")
+		ascii = fs.Bool("ascii", false, "render an ASCII log-scale plot instead of rows")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lossstat [flags] trace.csv")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: lossstat [flags] trace.csv")
+		return 2
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lossstat:", err)
+		return 1
 	}
 	defer f.Close()
 	rec, err := trace.ReadCSV(f)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lossstat:", err)
+		return 1
 	}
 	rep, err := analysis.AnalyzeTrace(rec, sim.Dur(*rtt), analysis.Config{
 		BinWidth:    *bin,
 		MaxInterval: *rng,
 	})
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lossstat:", err)
+		return 1
 	}
 	if *ascii {
-		err = core.WriteASCIIPDF(os.Stdout, rep, 25)
+		err = core.WriteASCIIPDF(stdout, rep, 25)
 	} else {
-		err = core.WritePDF(os.Stdout, rep)
+		err = core.WritePDF(stdout, rep)
 	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lossstat:", err)
+		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lossstat:", err)
-	os.Exit(1)
+	return 0
 }

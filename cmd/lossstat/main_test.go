@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	rec := &trace.Recorder{}
+	// A bursty synthetic trace: clusters of closely spaced drops.
+	at := sim.Time(0)
+	for burst := 0; burst < 20; burst++ {
+		at = at.Add(sim.Duration(burst+1) * 50 * sim.Millisecond)
+		for k := 0; k < 4; k++ {
+			at = at.Add(100 * sim.Microsecond)
+			rec.Add(trace.LossEvent{At: at, Flow: k, Seq: int64(burst*4 + k), Size: 1000})
+		}
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rec.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyzesTrace(t *testing.T) {
+	path := writeTrace(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rtt", "100ms", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "frac<0.01RTT") || !strings.Contains(out, "poisson_pdf") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+func TestRunASCIIPlot(t *testing.T) {
+	path := writeTrace(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rtt", "100ms", "-ascii", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "*") {
+		t.Fatalf("no plot marks:\n%s", stdout.String())
+	}
+}
+
+func TestRunUsageAndMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"/no/such/trace.csv"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+}

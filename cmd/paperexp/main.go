@@ -1,6 +1,10 @@
 // Command paperexp regenerates every table and figure of the paper as text
 // series. Each artifact has a sub-flag; -all runs the full evaluation with
-// paper-scale parameters (several minutes of wall time).
+// paper-scale parameters. The selected artifacts are independent simulated
+// worlds, so they run concurrently through the internal/exp runner by
+// default (each rendering into its own buffer, printed in artifact order —
+// the output is identical to a sequential run); -seq streams them one by
+// one instead.
 //
 // Usage:
 //
@@ -11,73 +15,150 @@
 //	paperexp -fig 7          # Figure 7: pacing vs NewReno throughput
 //	paperexp -fig 8          # Figure 8: parallel transfer latency
 //	paperexp -fig 1          # Table 1: PlanetLab sites
+//	paperexp -fig 2,3,4      # several artifacts, concurrently
 //	paperexp -xtfrc          # extension: TFRC vs NewReno competition
 //	paperexp -xecn           # extension: ECN signal coverage
 //	paperexp -all            # everything
+//	paperexp -all -reps 4    # figure 2/3/7 replicated, with mean ± 95% CI
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/planetlab"
 	"repro/internal/sim"
 	"repro/internal/tcptrace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// artifact is one paper table/figure: a name and a renderer writing the
+// text series to w.
+type artifact struct {
+	name string
+	fn   func(w io.Writer) error
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig    = flag.Int("fig", 0, "paper artifact to regenerate (1=Table 1, 2,3,4,7,8=figures, 5=Eq.1/2 table)")
-		all    = flag.Bool("all", false, "run everything")
-		xtfrc  = flag.Bool("xtfrc", false, "run the TFRC competition extension")
-		xecn   = flag.Bool("xecn", false, "run the ECN coverage extension")
-		xtrace = flag.Bool("xtrace", false, "run the TCP-trace methodology comparison")
-		seed   = flag.Int64("seed", 1, "experiment seed")
-		quick  = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
-		ascii  = flag.Bool("ascii", false, "ASCII plots for the PDF figures")
+		fig     = fs.String("fig", "", "paper artifacts to regenerate, comma-separated (1=Table 1, 2,3,4,7,8=figures, 5=Eq.1/2 table)")
+		all     = fs.Bool("all", false, "run everything")
+		xtfrc   = fs.Bool("xtfrc", false, "run the TFRC competition extension")
+		xecn    = fs.Bool("xecn", false, "run the ECN coverage extension")
+		xtrace  = fs.Bool("xtrace", false, "run the TCP-trace methodology comparison")
+		seed    = fs.Int64("seed", 1, "experiment seed")
+		quick   = fs.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+		ascii   = fs.Bool("ascii", false, "ASCII plots for the PDF figures")
+		reps    = fs.Int("reps", 1, "replications per loss-PDF figure (adds a mean ± 95% CI aggregate)")
+		seq     = fs.Bool("seq", false, "run artifacts sequentially, streaming output")
+		workers = fs.Int("workers", 0, "concurrent artifacts (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
-
-	e := &executor{seed: *seed, quick: *quick, ascii: *ascii}
-	ran := false
-	run := func(cond bool, f func() error, name string) {
-		if !cond {
-			return
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
 		}
-		ran = true
-		fmt.Printf("==== %s ====\n", name)
-		start := time.Now()
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "paperexp: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+		return 2
 	}
 
-	run(*all || *fig == 1, e.table1, "Table 1: PlanetLab sites")
-	run(*all || *fig == 2, e.figure2, "Figure 2: inter-loss PDF (NS-2)")
-	run(*all || *fig == 3, e.figure3, "Figure 3: inter-loss PDF (Dummynet)")
-	run(*all || *fig == 4, e.figure4, "Figure 4: inter-loss PDF (PlanetLab)")
-	run(*all || *fig == 5 || *fig == 6, e.eq12, "Eq. 1/2: loss-event visibility")
-	run(*all || *fig == 7, e.figure7, "Figure 7: pacing vs NewReno")
-	run(*all || *fig == 8, e.figure8, "Figure 8: parallel-transfer latency")
-	run(*all || *xtfrc, e.tfrc, "Extension: TFRC vs NewReno")
-	run(*all || *xecn, e.ecn, "Extension: ECN signal coverage")
-	run(*all || *xtrace, e.tcptrace, "Future work: TCP-trace methodology")
-
-	if !ran {
-		flag.Usage()
-		os.Exit(2)
+	figs := map[int]bool{}
+	if *fig != "" {
+		for _, part := range strings.Split(*fig, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(stderr, "paperexp: bad -fig value %q\n", part)
+				return 2
+			}
+			figs[n] = true
+		}
 	}
+
+	e := &executor{seed: *seed, quick: *quick, ascii: *ascii, reps: *reps}
+	var arts []artifact
+	add := func(cond bool, name string, fn func(io.Writer) error) {
+		if cond {
+			arts = append(arts, artifact{name, fn})
+		}
+	}
+	add(*all || figs[1], "Table 1: PlanetLab sites", e.table1)
+	add(*all || figs[2], "Figure 2: inter-loss PDF (NS-2)", e.figure2)
+	add(*all || figs[3], "Figure 3: inter-loss PDF (Dummynet)", e.figure3)
+	add(*all || figs[4], "Figure 4: inter-loss PDF (PlanetLab)", e.figure4)
+	add(*all || figs[5] || figs[6], "Eq. 1/2: loss-event visibility", e.eq12)
+	add(*all || figs[7], "Figure 7: pacing vs NewReno", e.figure7)
+	add(*all || figs[8], "Figure 8: parallel-transfer latency", e.figure8)
+	add(*all || *xtfrc, "Extension: TFRC vs NewReno", e.tfrc)
+	add(*all || *xecn, "Extension: ECN signal coverage", e.ecn)
+	add(*all || *xtrace, "Future work: TCP-trace methodology", e.tcptrace)
+
+	if len(arts) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	if *seq || len(arts) == 1 {
+		for _, a := range arts {
+			fmt.Fprintf(stdout, "==== %s ====\n", a.name)
+			start := time.Now()
+			if err := a.fn(stdout); err != nil {
+				fmt.Fprintf(stderr, "paperexp: %s: %v\n", a.name, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", a.name,
+				time.Since(start).Round(time.Millisecond))
+		}
+		return 0
+	}
+
+	// Parallel: every artifact renders into its own buffer on the worker
+	// pool; buffers are flushed in artifact order, so the byte stream
+	// matches the sequential run (modulo the timing lines).
+	type rendered struct {
+		out     bytes.Buffer
+		elapsed time.Duration
+	}
+	results := exp.Sweep(exp.Options{Seed: *seed, Workers: *workers}, arts,
+		func(r exp.Run[artifact]) (*rendered, error) {
+			var rd rendered
+			start := time.Now()
+			if err := r.Config.fn(&rd.out); err != nil {
+				return nil, fmt.Errorf("%s: %w", r.Config.name, err)
+			}
+			rd.elapsed = time.Since(start).Round(time.Millisecond)
+			return &rd, nil
+		})
+	code := 0
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(stderr, "paperexp: %v\n", r.Err)
+			code = 1
+			continue
+		}
+		fmt.Fprintf(stdout, "==== %s ====\n", arts[i].name)
+		stdout.Write(r.Value.out.Bytes())
+		fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", arts[i].name, r.Value.elapsed)
+	}
+	return code
 }
 
 type executor struct {
 	seed  int64
 	quick bool
 	ascii bool
+	reps  int
 }
 
 func (e *executor) dur(full, quick sim.Duration) sim.Duration {
@@ -87,40 +168,75 @@ func (e *executor) dur(full, quick sim.Duration) sim.Duration {
 	return full
 }
 
-func (e *executor) table1() error {
-	return core.WriteSites(os.Stdout, planetlab.Sites())
+func (e *executor) table1(w io.Writer) error {
+	return core.WriteSites(w, planetlab.Sites())
 }
 
-func (e *executor) figure2() error {
-	res, err := core.RunFigure2(core.Fig2Config{
+// writeScenario renders one loss-PDF scenario result, or — when -reps asks
+// for replications — the first replication plus the cross-replication
+// aggregate.
+func (e *executor) writeScenario(w io.Writer, sweep *core.ScenarioSweep) error {
+	res := sweep.Results[0]
+	if e.ascii {
+		if err := core.WriteASCIIPDF(w, res.Report, 25); err != nil {
+			return err
+		}
+	} else if err := core.WritePDF(w, res.Report); err != nil {
+		return err
+	}
+	for _, skip := range sweep.Skipped {
+		if _, err := fmt.Fprintf(w, "# skipped %v\n", skip); err != nil {
+			return err
+		}
+	}
+	if len(sweep.Results) > 1 {
+		s := sweep.Summary
+		_, err := fmt.Fprintf(w,
+			"# aggregate reps=%d frac<0.01RTT=%.3f±%.3f frac<1RTT=%.3f±%.3f cov=%.1f±%.1f reject_poisson=%.0f%%\n",
+			s.Replications,
+			s.FracBelow001.Mean, s.FracBelow001.CI95,
+			s.FracBelow1.Mean, s.FracBelow1.CI95,
+			s.CoV.Mean, s.CoV.CI95,
+			100*s.RejectFrac)
+		return err
+	}
+	return nil
+}
+
+// replications normalizes the -reps flag; replication 0 of a sweep runs
+// the configured seed itself, so -reps 1 is exactly the classic single
+// figure run.
+func (e *executor) replications() int {
+	if e.reps < 1 {
+		return 1
+	}
+	return e.reps
+}
+
+func (e *executor) figure2(w io.Writer) error {
+	sweep, err := core.SweepFigure2(core.Fig2Config{
 		Seed:     e.seed,
 		Flows:    16,
 		Duration: e.dur(120*sim.Second, 30*sim.Second),
-	})
+	}, core.SweepOptions{Replications: e.replications()})
 	if err != nil {
 		return err
 	}
-	if e.ascii {
-		return core.WriteASCIIPDF(os.Stdout, res.Report, 25)
-	}
-	return core.WritePDF(os.Stdout, res.Report)
+	return e.writeScenario(w, sweep)
 }
 
-func (e *executor) figure3() error {
-	res, err := core.RunFigure3(core.Fig3Config{
+func (e *executor) figure3(w io.Writer) error {
+	sweep, err := core.SweepFigure3(core.Fig3Config{
 		Seed:     e.seed,
 		Duration: e.dur(120*sim.Second, 30*sim.Second),
-	})
+	}, core.SweepOptions{Replications: e.replications()})
 	if err != nil {
 		return err
 	}
-	if e.ascii {
-		return core.WriteASCIIPDF(os.Stdout, res.Report, 25)
-	}
-	return core.WritePDF(os.Stdout, res.Report)
+	return e.writeScenario(w, sweep)
 }
 
-func (e *executor) figure4() error {
+func (e *executor) figure4(w io.Writer) error {
 	res, err := core.RunFigure4(core.Fig4Config{
 		Seed:     e.seed,
 		Paths:    ifQuick(e.quick, 12, 60),
@@ -129,41 +245,48 @@ func (e *executor) figure4() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# paths: measured=%d validated=%d analyzed=%d losses=%d\n",
+	fmt.Fprintf(w, "# paths: measured=%d validated=%d analyzed=%d losses=%d\n",
 		res.PathsMeasured, res.PathsValidated, res.PathsAnalyzed, res.TotalLosses)
 	if e.ascii {
-		return core.WriteASCIIPDF(os.Stdout, res.Report, 25)
+		return core.WriteASCIIPDF(w, res.Report, 25)
 	}
-	return core.WritePDF(os.Stdout, res.Report)
+	return core.WritePDF(w, res.Report)
 }
 
-func (e *executor) eq12() error {
+func (e *executor) eq12(w io.Writer) error {
 	rows := core.VisibilityTable(16, 10, []int{1, 2, 4, 8, 16, 32, 64, 128}, 2000, e.seed)
-	return core.WriteVisibilityTable(os.Stdout, rows)
+	return core.WriteVisibilityTable(w, rows)
 }
 
-func (e *executor) figure7() error {
-	res, err := core.RunFigure7(core.Fig7Config{
+func (e *executor) figure7(w io.Writer) error {
+	sweep, err := core.SweepFigure7(core.Fig7Config{
 		Seed:     e.seed,
 		Duration: e.dur(40*sim.Second, 20*sim.Second),
-	})
+	}, core.SweepOptions{Replications: e.replications()})
 	if err != nil {
 		return err
 	}
-	return core.WriteFig7(os.Stdout, res, sim.Second)
+	if err := core.WriteFig7(w, sweep.Results[0], sim.Second); err != nil {
+		return err
+	}
+	if len(sweep.Results) > 1 {
+		d := sweep.Deficit
+		_, err = fmt.Fprintf(w, "# aggregate reps=%d deficit=%.3f±%.3f\n", d.N, d.Mean, d.CI95)
+	}
+	return err
 }
 
-func (e *executor) figure8() error {
+func (e *executor) figure8(w io.Writer) error {
 	cfg := core.Fig8Config{Seed: e.seed}
 	if e.quick {
 		cfg.TotalBytes = 8 << 20
 		cfg.Runs = 3
 	}
 	res := core.RunFigure8(cfg)
-	return core.WriteFig8(os.Stdout, res)
+	return core.WriteFig8(w, res)
 }
 
-func (e *executor) tfrc() error {
+func (e *executor) tfrc(w io.Writer) error {
 	res, err := core.RunTFRCCompetition(core.TFRCCompConfig{
 		Seed:     e.seed,
 		Duration: e.dur(60*sim.Second, 20*sim.Second),
@@ -171,28 +294,29 @@ func (e *executor) tfrc() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("newreno_bytes=%d tfrc_bytes=%d deficit=%.1f%% tfrc_loss_rate=%.4f\n",
+	fmt.Fprintf(w, "newreno_bytes=%d tfrc_bytes=%d deficit=%.1f%% tfrc_loss_rate=%.4f\n",
 		res.NewRenoBytes, res.TFRCBytes, 100*res.Deficit, res.TFRCLossRate)
 	return nil
 }
 
-func (e *executor) ecn() error {
-	fmt.Println("# mode\tcoverage\tepochs\tpkts\tfairness")
-	for _, mode := range []core.ECNMode{core.ModeDropTail, core.ModeRedECN, core.ModePersistentECN} {
-		res, err := core.RunECNCoverage(core.ECNCoverageConfig{
-			Seed:     e.seed,
-			Duration: e.dur(30*sim.Second, 15*sim.Second),
-		}, mode)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%v\t%.2f\t%d\t%d\t%.3f\n",
-			mode, res.CoverageFraction, res.Epochs, res.AggregatePkts, res.FairnessIndex)
+func (e *executor) ecn(w io.Writer) error {
+	fmt.Fprintln(w, "# mode\tcoverage\tepochs\tpkts\tfairness")
+	modes := []core.ECNMode{core.ModeDropTail, core.ModeRedECN, core.ModePersistentECN}
+	results, err := core.RunECNComparison(core.ECNCoverageConfig{
+		Seed:     e.seed,
+		Duration: e.dur(30*sim.Second, 15*sim.Second),
+	}, modes, 0)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Fprintf(w, "%v\t%.2f\t%d\t%d\t%.3f\n",
+			res.Mode, res.CoverageFraction, res.Epochs, res.AggregatePkts, res.FairnessIndex)
 	}
 	return nil
 }
 
-func (e *executor) tcptrace() error {
+func (e *executor) tcptrace(w io.Writer) error {
 	res, err := tcptrace.Run(tcptrace.Config{
 		Seed:     e.seed,
 		Flows:    16,
@@ -201,10 +325,10 @@ func (e *executor) tcptrace() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("true_drops=%d tcp_trace_events=%d\n", res.Drops, res.Retransmissions)
-	fmt.Printf("truth:     frac<0.01RTT=%.3f CoV=%.1f\n",
+	fmt.Fprintf(w, "true_drops=%d tcp_trace_events=%d\n", res.Drops, res.Retransmissions)
+	fmt.Fprintf(w, "truth:     frac<0.01RTT=%.3f CoV=%.1f\n",
 		res.Truth.FracBelow001, res.Truth.CoV)
-	fmt.Printf("tcp-trace: frac<0.01RTT=%.3f CoV=%.1f\n",
+	fmt.Fprintf(w, "tcp-trace: frac<0.01RTT=%.3f CoV=%.1f\n",
 		res.FromTCP.FracBelow001, res.FromTCP.CoV)
 	return nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArtifact(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fig", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "==== Table 1: PlanetLab sites ====") {
+		t.Fatalf("missing banner:\n%s", out)
+	}
+	if got := strings.Count(out, "planetlab"); got < 20 {
+		t.Fatalf("site rows = %d:\n%s", got, out)
+	}
+}
+
+func TestRunEq12Table(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fig", "5"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "eq1_rate") {
+		t.Fatalf("missing table header:\n%s", stdout.String())
+	}
+}
+
+// stripTimings removes the wall-clock lines so sequential and parallel
+// outputs can be compared byte for byte.
+var timingRe = regexp.MustCompile(`(?m)^---- .* done in .* ----$`)
+
+func stripTimings(s string) string { return timingRe.ReplaceAllString(s, "") }
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	// Two fast artifacts: Table 1 and the Eq. 1/2 visibility table. The
+	// parallel scheduler must not change a byte of the rendered series,
+	// and must print them in artifact order.
+	var par, seql, stderr bytes.Buffer
+	if code := run([]string{"-fig", "1,5", "-seq"}, &seql, &stderr); code != 0 {
+		t.Fatalf("seq exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-fig", "1,5", "-workers", "2"}, &par, &stderr); code != 0 {
+		t.Fatalf("par exit %d: %s", code, stderr.String())
+	}
+	if stripTimings(seql.String()) != stripTimings(par.String()) {
+		t.Fatalf("parallel output diverges from sequential:\n%q\nvs\n%q",
+			seql.String(), par.String())
+	}
+	if !strings.Contains(par.String(), "Table 1") ||
+		strings.Index(par.String(), "Table 1") > strings.Index(par.String(), "Eq. 1/2") {
+		t.Fatalf("artifact order broken:\n%s", par.String())
+	}
+}
+
+func TestRunUsageOnNoSelection(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-fig") {
+		t.Fatalf("usage not printed:\n%s", stderr.String())
+	}
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}

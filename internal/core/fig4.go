@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/exp"
 	"repro/internal/planetlab"
 	"repro/internal/probe"
 	"repro/internal/sim"
@@ -26,6 +27,11 @@ type Fig4Config struct {
 	// MinLosses is the minimum number of losses for a path to contribute
 	// to the aggregate (default 5).
 	MinLosses int
+	// Workers bounds how many paths are measured concurrently (each path
+	// is an independent simulated world with its own scheduler and rng
+	// stream, so the result is identical for any worker count); 0 means
+	// GOMAXPROCS.
+	Workers int
 }
 
 func (c *Fig4Config) fillDefaults() {
@@ -53,46 +59,67 @@ type Fig4Result struct {
 	TotalLosses    int
 }
 
-// RunFigure4 executes the campaign.
+// pathOutcome is one path's contribution to the campaign, produced inside
+// a sweep worker.
+type pathOutcome struct {
+	valid  bool
+	report *analysis.Report // nil when invalid or too few losses
+}
+
+// RunFigure4 executes the campaign. Path selection is sequential (it
+// consumes one picking rng), but the per-path measurements — each its own
+// simulated world with its own scheduler and rng stream — fan out across
+// the exp worker pool. The aggregate is identical for any worker count.
 func RunFigure4(cfg Fig4Config) (*Fig4Result, error) {
 	cfg.fillDefaults()
 	mesh := planetlab.NewMesh(planetlab.MeshConfig{Seed: cfg.Seed})
 	pick := sim.NewRand(sim.SubSeed(cfg.Seed, 21))
 
-	res := &Fig4Result{}
-	var reports []*analysis.Report
-	seen := map[[2]int]bool{}
-	for len(seen) < cfg.Paths {
-		i, j := mesh.RandomPair(pick)
-		if seen[[2]int{i, j}] {
-			continue
-		}
-		seen[[2]int{i, j}] = true
+	pairs := mesh.RandomPairs(pick, cfg.Paths)
 
-		// Each path gets its own scheduler: measurements are independent,
-		// as the paper's sequential experiments were.
-		sched := sim.NewScheduler()
-		path := mesh.NewPathProcess(i, j)
-		m := probe.MeasurePath(sched, path, probe.RunConfig{
-			Flow:     1,
-			Interval: cfg.ProbeInterval,
-			Duration: cfg.Duration,
+	// The mesh is immutable after construction, so sharing it across the
+	// workers is safe; every mutable piece of a measurement is created in
+	// the worker.
+	results := exp.Sweep(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, pairs,
+		func(r exp.Run[[2]int]) (pathOutcome, error) {
+			sched := sim.NewScheduler()
+			path := mesh.NewPathProcess(r.Config[0], r.Config[1])
+			m := probe.MeasurePath(sched, path, probe.RunConfig{
+				Flow:     1,
+				Interval: cfg.ProbeInterval,
+				Duration: cfg.Duration,
+			})
+			out := pathOutcome{valid: m.Valid}
+			if !m.Valid || len(m.Small.LossSendTimes) < cfg.MinLosses {
+				return out, nil
+			}
+			rep, err := analysis.Analyze(m.Small.LossSendTimes, m.Small.PathRTT, analysis.Config{})
+			if err != nil {
+				// A path without enough analyzable intervals simply does not
+				// contribute, exactly as in the sequential campaign.
+				return out, nil
+			}
+			out.report = rep
+			return out, nil
 		})
-		res.PathsMeasured++
-		if !m.Valid {
+	outcomes, err := exp.Values(results)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig4Result{PathsMeasured: len(outcomes)}
+	var reports []*analysis.Report
+	for _, o := range outcomes {
+		if !o.valid {
 			continue
 		}
 		res.PathsValidated++
-		if len(m.Small.LossSendTimes) < cfg.MinLosses {
-			continue
-		}
-		rep, err := analysis.Analyze(m.Small.LossSendTimes, m.Small.PathRTT, analysis.Config{})
-		if err != nil {
+		if o.report == nil {
 			continue
 		}
 		res.PathsAnalyzed++
-		res.TotalLosses += rep.N
-		reports = append(reports, rep)
+		res.TotalLosses += o.report.N
+		reports = append(reports, o.report)
 	}
 	if len(reports) == 0 {
 		return nil, fmt.Errorf("core: figure 4 campaign yielded no analyzable paths")

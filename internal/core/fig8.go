@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/apps"
+	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -18,6 +19,10 @@ type Fig8Config struct {
 	PktSize        int            // default 1000
 	Runs           int            // perturbed repetitions per cell (default 5)
 	Paced          bool           // run the rate-based variant instead
+	// Workers bounds how many grid cells run concurrently (each cell is a
+	// set of independent simulated worlds, so the surface is identical for
+	// any worker count); 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c *Fig8Config) fillDefaults() {
@@ -72,26 +77,49 @@ func (r *Fig8Result) Cell(rtt sim.Duration, flows int) *Fig8Cell {
 	return nil
 }
 
-// RunFigure8 sweeps the latency surface.
+// RunFigure8 sweeps the latency surface. The grid cells are independent
+// experiments, so they fan out across the exp worker pool; the result
+// keeps the row-major (RTT, then flows) cell order of the sequential
+// sweep.
 func RunFigure8(cfg Fig8Config) *Fig8Result {
 	cfg.fillDefaults()
 	res := &Fig8Result{FlowCounts: cfg.FlowCounts, RTTs: cfg.RTTs}
+
+	type cellCfg struct {
+		rtt   sim.Duration
+		flows int
+	}
+	grid := make([]cellCfg, 0, len(cfg.RTTs)*len(cfg.FlowCounts))
 	for _, rtt := range cfg.RTTs {
 		for _, n := range cfg.FlowCounts {
+			grid = append(grid, cellCfg{rtt, n})
+		}
+	}
+
+	results := exp.Sweep(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, grid,
+		func(r exp.Run[cellCfg]) (Fig8Cell, error) {
 			vals := apps.Sweep(apps.ParallelConfig{
 				TotalBytes:     cfg.TotalBytes,
-				Flows:          n,
+				Flows:          r.Config.flows,
 				PktSize:        cfg.PktSize,
-				RTT:            rtt,
+				RTT:            r.Config.rtt,
 				BottleneckRate: cfg.BottleneckRate,
 				Paced:          cfg.Paced,
 			}, cfg.Runs)
 			s := stats.Summarize(vals)
-			res.Cells = append(res.Cells, Fig8Cell{
-				RTT: rtt, Flows: n,
+			return Fig8Cell{
+				RTT: r.Config.rtt, Flows: r.Config.flows,
 				Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max,
-			})
+			}, nil
+		})
+	// The transfers report trouble through the result, not an error, so a
+	// captured error can only be a worker panic (e.g. a malformed config);
+	// re-raise it rather than silently emitting a zero cell.
+	for _, r := range results {
+		if r.Err != nil {
+			panic(r.Err)
 		}
+		res.Cells = append(res.Cells, r.Value)
 	}
 	return res
 }

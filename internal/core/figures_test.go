@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -11,13 +12,16 @@ import (
 
 // All scenario tests run scaled-down versions of the paper's setups: the
 // shapes must hold at small scale even though the absolute statistics are
-// noisier.
+// noisier. Every test is t.Parallel(): each scenario is an independent
+// simulated world, so the suite's wall clock is bounded by the slowest
+// test on multi-core hardware.
 
 func TestRunFigure2ShowsSubRTTBurstiness(t *testing.T) {
+	t.Parallel()
 	res, err := RunFigure2(Fig2Config{
 		Seed:     1,
 		Flows:    16,
-		Duration: 30 * sim.Second,
+		Duration: 15 * sim.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,31 +55,85 @@ func TestRunFigure2ShowsSubRTTBurstiness(t *testing.T) {
 	}
 }
 
+// TestRunFigure2Deterministic checks the two reproducibility contracts at
+// once: the same config and seed always produce the same world, and a
+// sweep's results are byte-identical no matter how many workers ran it.
 func TestRunFigure2Deterministic(t *testing.T) {
-	cfg := Fig2Config{Seed: 5, Flows: 16, Duration: 15 * sim.Second, Warmup: 3 * sim.Second}
-	a, err := RunFigure2(cfg)
+	t.Parallel()
+	cfg := Fig2Config{Seed: 5, Flows: 4, Duration: 6 * sim.Second, Warmup: sim.Second}
+	opts := SweepOptions{Replications: 2}
+
+	opts.Workers = 1
+	seq, err := SweepFigure2(cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunFigure2(cfg)
+	opts.Workers = 4
+	par, err := SweepFigure2(cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Drops != b.Drops || a.MeanRTT != b.MeanRTT {
-		t.Fatalf("nondeterministic: %d/%v vs %d/%v", a.Drops, a.MeanRTT, b.Drops, b.MeanRTT)
-	}
-	for i, e := range a.Trace.Events() {
-		if e != b.Trace.Events()[i] {
-			t.Fatalf("trace diverges at %d", i)
+
+	for k := range seq.Results {
+		a, b := seq.Results[k], par.Results[k]
+		if a.Drops != b.Drops || a.MeanRTT != b.MeanRTT {
+			t.Fatalf("replication %d nondeterministic: %d/%v vs %d/%v",
+				k, a.Drops, a.MeanRTT, b.Drops, b.MeanRTT)
 		}
+		if !reflect.DeepEqual(a.Trace.Events(), b.Trace.Events()) {
+			t.Fatalf("replication %d trace diverges across worker counts", k)
+		}
+		// The rendered artifact — what a human or the paper comparison
+		// reads — must be byte-identical too.
+		var ra, rb bytes.Buffer
+		if err := WritePDF(&ra, a.Report); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePDF(&rb, b.Report); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ra.Bytes(), rb.Bytes()) {
+			t.Fatalf("replication %d rendered report diverges", k)
+		}
+	}
+	if !reflect.DeepEqual(seq.Summary, par.Summary) {
+		t.Fatalf("aggregate diverges: %+v vs %+v", seq.Summary, par.Summary)
+	}
+	if seq.Summary.Replications != 2 || seq.Summary.CoV.N != 2 {
+		t.Fatalf("summary shape: %+v", seq.Summary)
+	}
+	if len(seq.Skipped) != 0 || len(seq.Seeds) != 2 {
+		t.Fatalf("skips/seeds: %v / %v", seq.Skipped, seq.Seeds)
+	}
+	// Replication 0 replays the configured seed; replication 1 draws an
+	// independent derived seed.
+	if seq.Seeds[0] != cfg.Seed || seq.Seeds[1] == cfg.Seed {
+		t.Fatalf("replication seeds wrong: %v", seq.Seeds)
+	}
+	// Replications must differ from each other (independent seeds), or the
+	// sweep would be averaging one run with itself.
+	if reflect.DeepEqual(seq.Results[0].Trace.Events(), seq.Results[1].Trace.Events()) {
+		t.Fatal("replications identical; seed derivation broken")
+	}
+}
+
+func TestSweepFailsOnlyWhenAllReplicationsFail(t *testing.T) {
+	t.Parallel()
+	// One simulated second with a ten-second default warmup: every
+	// replication records zero drops, so the sweep as a whole must error.
+	_, err := SweepFigure2(Fig2Config{Seed: 1, Flows: 2, Duration: sim.Second},
+		SweepOptions{Replications: 2, Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "every replication failed") {
+		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunFigure3QuantizedTrace(t *testing.T) {
+	t.Parallel()
 	res, err := RunFigure3(Fig3Config{
 		Seed:          2,
 		FlowsPerClass: 2,
-		Duration:      30 * sim.Second,
+		Duration:      15 * sim.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,12 +157,37 @@ func TestRunFigure3QuantizedTrace(t *testing.T) {
 	}
 }
 
+func TestSweepFigure3Aggregates(t *testing.T) {
+	t.Parallel()
+	sweep, err := SweepFigure3(Fig3Config{
+		Seed:          9,
+		FlowsPerClass: 2,
+		Duration:      10 * sim.Second,
+		Warmup:        3 * sim.Second,
+	}, SweepOptions{Replications: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 2 || sweep.Summary.Replications != 2 {
+		t.Fatalf("sweep shape: %d results, %+v", len(sweep.Results), sweep.Summary)
+	}
+	if sweep.Summary.Losses.Mean < 2 {
+		t.Fatalf("mean losses %v", sweep.Summary.Losses.Mean)
+	}
+	if sweep.Summary.CoV.Mean <= 0 {
+		t.Fatalf("CoV aggregate: %+v", sweep.Summary.CoV)
+	}
+}
+
 func TestRunFigure4CampaignShape(t *testing.T) {
-	res, err := RunFigure4(Fig4Config{
+	t.Parallel()
+	cfg := Fig4Config{
 		Seed:     3,
 		Paths:    12,
-		Duration: 30 * sim.Second,
-	})
+		Duration: 20 * sim.Second,
+		Workers:  4,
+	}
+	res, err := RunFigure4(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,13 +210,35 @@ func TestRunFigure4CampaignShape(t *testing.T) {
 	if r.BurstinessVsPoisson() < 2 {
 		t.Fatalf("internet burstiness ratio = %v", r.BurstinessVsPoisson())
 	}
+
+	// Worker invariance: the sequential campaign renders the same merged
+	// artifact byte for byte.
+	cfg.Workers = 1
+	seq, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WritePDF(&a, res.Report); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePDF(&b, seq.Report); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("figure 4 aggregate depends on worker count")
+	}
+	if res.PathsAnalyzed != seq.PathsAnalyzed || res.TotalLosses != seq.TotalLosses {
+		t.Fatalf("campaign counters diverge: %+v vs %+v", res, seq)
+	}
 }
 
 func TestRunFigure7PacingLoses(t *testing.T) {
+	t.Parallel()
 	res, err := RunFigure7(Fig7Config{
 		Seed:          4,
 		FlowsPerClass: 8,
-		Duration:      30 * sim.Second,
+		Duration:      15 * sim.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -164,14 +269,35 @@ func TestRunFigure7PacingLoses(t *testing.T) {
 	}
 }
 
+func TestSweepFigure7DeficitEstimate(t *testing.T) {
+	t.Parallel()
+	cfg := Fig7Config{Seed: 10, FlowsPerClass: 2, Duration: 6 * sim.Second}
+	seq, err := SweepFigure7(cfg, SweepOptions{Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepFigure7(cfg, SweepOptions{Replications: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("figure 7 sweep depends on worker count")
+	}
+	if len(seq.Results) != 2 || seq.Deficit.N != 2 {
+		t.Fatalf("sweep shape: %d results, %+v", len(seq.Results), seq.Deficit)
+	}
+}
+
 func TestRunFigure8LatencySurface(t *testing.T) {
-	res := RunFigure8(Fig8Config{
+	t.Parallel()
+	cfg := Fig8Config{
 		Seed:       5,
 		TotalBytes: 8 << 20, // 8 MB keeps the test quick
 		FlowCounts: []int{2, 8},
 		RTTs:       []sim.Duration{10 * sim.Millisecond, 200 * sim.Millisecond},
 		Runs:       3,
-	})
+	}
+	res := RunFigure8(cfg)
 	if len(res.Cells) != 4 {
 		t.Fatalf("cells = %d", len(res.Cells))
 	}
@@ -202,11 +328,30 @@ func TestRunFigure8LatencySurface(t *testing.T) {
 	}
 }
 
+func TestRunFigure8WorkerInvariance(t *testing.T) {
+	t.Parallel()
+	cfg := Fig8Config{
+		Seed:       6,
+		TotalBytes: 2 << 20,
+		FlowCounts: []int{2, 4},
+		RTTs:       []sim.Duration{10 * sim.Millisecond, 50 * sim.Millisecond},
+		Runs:       2,
+	}
+	cfg.Workers = 1
+	seq := RunFigure8(cfg)
+	cfg.Workers = 4
+	par := RunFigure8(cfg)
+	if !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Fatalf("latency surface depends on worker count:\n%+v\n%+v", seq.Cells, par.Cells)
+	}
+}
+
 func TestRunTFRCCompetition(t *testing.T) {
+	t.Parallel()
 	res, err := RunTFRCCompetition(TFRCCompConfig{
 		Seed:          6,
 		FlowsPerClass: 4,
-		Duration:      30 * sim.Second,
+		Duration:      15 * sim.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -221,14 +366,19 @@ func TestRunTFRCCompetition(t *testing.T) {
 }
 
 func TestRunECNCoverageOrdering(t *testing.T) {
-	cfg := ECNCoverageConfig{Seed: 7, Flows: 8, Duration: 20 * sim.Second}
-	dt, err := RunECNCoverage(cfg, ModeDropTail)
+	t.Parallel()
+	cfg := ECNCoverageConfig{Seed: 7, Flows: 8, Duration: 10 * sim.Second}
+	modes := []ECNMode{ModeDropTail, ModePersistentECN}
+	results, err := RunECNComparison(cfg, modes, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pe, err := RunECNCoverage(cfg, ModePersistentECN)
-	if err != nil {
-		t.Fatal(err)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	dt, pe := results[0], results[1]
+	if dt.Mode != ModeDropTail || pe.Mode != ModePersistentECN {
+		t.Fatalf("mode order broken: %v, %v", dt.Mode, pe.Mode)
 	}
 	// The paper's proposal: persistent ECN covers most flows each epoch;
 	// DropTail covers few.
@@ -246,9 +396,19 @@ func TestRunECNCoverageOrdering(t *testing.T) {
 		t.Fatalf("persistent ECN hurt fairness: %.3f vs %.3f",
 			pe.FairnessIndex, dt.FairnessIndex)
 	}
+	// The comparison must match standalone runs exactly — it only
+	// parallelizes, never perturbs.
+	solo, err := RunECNCoverage(cfg, ModePersistentECN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo, pe) {
+		t.Fatalf("comparison diverges from standalone run:\n%+v\n%+v", solo, pe)
+	}
 }
 
 func TestWritePDFAndASCII(t *testing.T) {
+	t.Parallel()
 	res, err := RunFigure2(Fig2Config{Seed: 8, Flows: 4, Duration: 10 * sim.Second,
 		Warmup: sim.Second})
 	if err != nil {
@@ -280,6 +440,7 @@ func TestWritePDFAndASCII(t *testing.T) {
 }
 
 func TestWriteSitesTable(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := WriteSites(&buf, planetlab.Sites()); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/exp"
+)
+
+// SweepOptions controls a replicated figure run. Replication 0 replays
+// the figure config's own Seed — a one-replication sweep is exactly the
+// single run, and adding replications extends a figure rather than
+// replacing it — while later replications receive independent
+// sim.SubSeed-derived seeds. A sweep is a pure function of
+// (config, Replications) — Workers only changes how fast it finishes,
+// never what it returns.
+type SweepOptions struct {
+	// Replications is the number of independent runs (default 4).
+	Replications int
+	// Workers bounds concurrency; 0 means GOMAXPROCS, 1 is sequential.
+	Workers int
+}
+
+func (o *SweepOptions) fillDefaults() {
+	if o.Replications == 0 {
+		o.Replications = 4
+	}
+}
+
+// replicationSeed maps a replication index to its seed: replication 0
+// replays the configured base seed, later replications use the
+// SubSeed-derived stream handed in by the runner.
+func replicationSeed(base int64, index int, derived int64) int64 {
+	if index == 0 {
+		return base
+	}
+	return derived
+}
+
+// ScenarioSweep is the outcome of replicated loss-trace scenario runs
+// (Figures 2 and 3): the per-replication results in replication order plus
+// the mean ± CI aggregate of the headline burstiness metrics. A
+// replication whose scenario produces too few drops for analysis is
+// recorded in Skipped rather than failing the sweep — exactly as a
+// too-quiet path does not contribute to the Figure 4 campaign — and the
+// sweep errors only when every replication failed.
+type ScenarioSweep struct {
+	Results []*ScenarioResult // successful replications, in replication order
+	Seeds   []int64           // effective seed of each successful replication
+	Skipped []error           // per-replication failures, if any
+	Summary exp.ReportSummary
+}
+
+// SweepFigure2 replicates the NS-2 scenario across derived seeds.
+func SweepFigure2(cfg Fig2Config, opts SweepOptions) (*ScenarioSweep, error) {
+	opts.fillDefaults()
+	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64) (*ScenarioResult, error) {
+			c := cfg
+			c.Seed = replicationSeed(cfg.Seed, i, seed)
+			return RunFigure2(c)
+		})
+	return collectScenarioSweep(cfg.Seed, results)
+}
+
+// SweepFigure3 replicates the Dummynet scenario across derived seeds.
+func SweepFigure3(cfg Fig3Config, opts SweepOptions) (*ScenarioSweep, error) {
+	opts.fillDefaults()
+	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64) (*ScenarioResult, error) {
+			c := cfg
+			c.Seed = replicationSeed(cfg.Seed, i, seed)
+			return RunFigure3(c)
+		})
+	return collectScenarioSweep(cfg.Seed, results)
+}
+
+func collectScenarioSweep(base int64, results []exp.Result[*ScenarioResult]) (*ScenarioSweep, error) {
+	s := &ScenarioSweep{}
+	var reports []*analysis.Report
+	for _, r := range results {
+		seed := replicationSeed(base, r.Index, r.Seed)
+		if r.Err != nil {
+			s.Skipped = append(s.Skipped, fmt.Errorf("replication %d (seed %d): %w", r.Index, seed, r.Err))
+			continue
+		}
+		s.Results = append(s.Results, r.Value)
+		s.Seeds = append(s.Seeds, seed)
+		reports = append(reports, r.Value.Report)
+	}
+	if len(s.Results) == 0 {
+		return nil, fmt.Errorf("core: every replication failed: %w", errors.Join(s.Skipped...))
+	}
+	s.Summary = exp.SummarizeReports(reports)
+	return s, nil
+}
+
+// Fig7Sweep is the outcome of replicated pacing-competition runs: the
+// per-replication results and the mean ± CI of the headline deficit.
+type Fig7Sweep struct {
+	Results []*Fig7Result
+	Deficit exp.Estimate
+}
+
+// SweepFigure7 replicates the pacing-vs-NewReno competition across derived
+// seeds.
+func SweepFigure7(cfg Fig7Config, opts SweepOptions) (*Fig7Sweep, error) {
+	opts.fillDefaults()
+	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64) (*Fig7Result, error) {
+			c := cfg
+			c.Seed = replicationSeed(cfg.Seed, i, seed)
+			return RunFigure7(c)
+		})
+	vals, err := exp.Values(results)
+	if err != nil {
+		return nil, err
+	}
+	deficits := make([]float64, len(vals))
+	for i, v := range vals {
+		deficits[i] = v.Deficit
+	}
+	return &Fig7Sweep{Results: vals, Deficit: exp.EstimateOf(deficits)}, nil
+}
+
+// RunECNComparison runs the ECN-coverage experiment for each mode
+// concurrently (the modes are independent worlds) and returns the results
+// in mode order.
+func RunECNComparison(cfg ECNCoverageConfig, modes []ECNMode, workers int) ([]*ECNCoverageResult, error) {
+	results := exp.Sweep(exp.Options{Seed: cfg.Seed, Workers: workers}, modes,
+		func(r exp.Run[ECNMode]) (*ECNCoverageResult, error) {
+			// RunECNCoverage derives its own per-mode stream from cfg.Seed,
+			// so the sweep seed is deliberately unused: results stay
+			// identical to sequential RunECNCoverage calls.
+			return RunECNCoverage(cfg, r.Config)
+		})
+	return exp.Values(results)
+}

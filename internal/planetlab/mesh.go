@@ -130,6 +130,28 @@ func (m *Mesh) RandomPair(rng *rand.Rand) (int, int) {
 	return i, j
 }
 
+// RandomPairs picks n distinct random ordered site pairs, in pick order.
+// n is capped at the mesh's total number of directed paths (650 for the
+// paper's 26 sites), so asking for "all of them or more" terminates
+// instead of spinning on an exhausted pair space.
+func (m *Mesh) RandomPairs(rng *rand.Rand, n int) [][2]int {
+	total := len(m.Sites) * (len(m.Sites) - 1)
+	if n > total {
+		n = total
+	}
+	pairs := make([][2]int, 0, n)
+	seen := make(map[[2]int]bool, n)
+	for len(pairs) < n {
+		i, j := m.RandomPair(rng)
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		pairs = append(pairs, [2]int{i, j})
+	}
+	return pairs
+}
+
 // AllRTTs lists every directed path's RTT, for distribution checks.
 func (m *Mesh) AllRTTs() []sim.Duration {
 	var out []sim.Duration

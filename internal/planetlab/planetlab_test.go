@@ -2,6 +2,7 @@ package planetlab
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/netsim"
@@ -266,5 +267,30 @@ func TestMeshEpisodeDurationsSubRTT(t *testing.T) {
 					i, j, p.MeanEpisode, p.RTT)
 			}
 		}
+	}
+}
+
+func TestRandomPairsDistinctAndCapped(t *testing.T) {
+	m := NewMesh(MeshConfig{Seed: 1})
+	rng := rand.New(rand.NewSource(7))
+	pairs := m.RandomPairs(rng, 10)
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("self pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	// Asking for more pairs than exist must terminate with all 650, not
+	// spin forever on an exhausted pair space.
+	all := m.RandomPairs(rand.New(rand.NewSource(8)), 100000)
+	if len(all) != len(m.Sites)*(len(m.Sites)-1) {
+		t.Fatalf("capped pairs = %d", len(all))
 	}
 }

@@ -4,7 +4,9 @@ import "math/rand"
 
 // NewRand returns a seeded random source. Every stochastic component in the
 // repository takes one of these explicitly, so that an experiment's single
-// top-level seed fully determines the run.
+// top-level seed fully determines the run. Like the Scheduler it feeds, a
+// *rand.Rand belongs to exactly one simulated world and one goroutine;
+// parallel replications must each derive their own via SubSeed.
 func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }

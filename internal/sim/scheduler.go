@@ -25,6 +25,9 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Scheduler is a deterministic discrete-event executor. The zero value is
 // ready to use. Scheduler is not safe for concurrent use: the simulated
 // world is single-threaded by design, which is what makes runs reproducible.
+// A Scheduler must stay confined to the goroutine that created it; to use
+// many CPUs, run independent Schedulers in parallel (see internal/exp), one
+// per replication, never one Scheduler across goroutines.
 type Scheduler struct {
 	now    Time
 	seq    uint64

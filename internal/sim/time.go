@@ -7,6 +7,14 @@
 // clock, (b) FIFO tie-breaking between events scheduled for the same
 // instant, and (c) explicit, seeded random sources owned by the components
 // (the engine itself contains no randomness).
+//
+// Concurrency contract: one simulated world — a Scheduler, the *rand.Rand
+// streams feeding it, and every component attached to it — is confined to
+// the goroutine that created it. Nothing in this package is safe for
+// concurrent use, on purpose: single-threaded worlds are what make runs
+// bit-reproducible. Parallelism lives one level up, in internal/exp, which
+// runs many independent worlds at once by giving each replication its own
+// Scheduler and its own SubSeed-derived seed on its own goroutine.
 package sim
 
 import (
