@@ -18,8 +18,10 @@
 //	paperexp -fig 2,3,4      # several artifacts, concurrently
 //	paperexp -xtfrc          # extension: TFRC vs NewReno competition
 //	paperexp -xecn           # extension: ECN signal coverage
-//	paperexp -all            # everything
-//	paperexp -all -reps 4    # figure 2/3/7 replicated, with mean ± 95% CI
+//	paperexp -scenario parking-lot   # one registered topology scenario
+//	paperexp -scenario all           # the whole scenario catalog
+//	paperexp -all            # everything, scenario catalog included
+//	paperexp -all -reps 4    # loss-PDF artifacts replicated, with mean ± 95% CI
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"repro/internal/planetlab"
 	"repro/internal/sim"
 	"repro/internal/tcptrace"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -55,17 +58,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("paperexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "", "paper artifacts to regenerate, comma-separated (1=Table 1, 2,3,4,7,8=figures, 5=Eq.1/2 table)")
-		all     = fs.Bool("all", false, "run everything")
-		xtfrc   = fs.Bool("xtfrc", false, "run the TFRC competition extension")
-		xecn    = fs.Bool("xecn", false, "run the ECN coverage extension")
-		xtrace  = fs.Bool("xtrace", false, "run the TCP-trace methodology comparison")
-		seed    = fs.Int64("seed", 1, "experiment seed")
-		quick   = fs.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
-		ascii   = fs.Bool("ascii", false, "ASCII plots for the PDF figures")
-		reps    = fs.Int("reps", 1, "replications per loss-PDF figure (adds a mean ± 95% CI aggregate)")
-		seq     = fs.Bool("seq", false, "run artifacts sequentially, streaming output")
-		workers = fs.Int("workers", 0, "concurrent artifacts (0 = GOMAXPROCS)")
+		fig      = fs.String("fig", "", "paper artifacts to regenerate, comma-separated (1=Table 1, 2,3,4,7,8=figures, 5/6=Eq.1/2 table)")
+		all      = fs.Bool("all", false, "run everything, scenario catalog included")
+		xtfrc    = fs.Bool("xtfrc", false, "run the TFRC competition extension")
+		xecn     = fs.Bool("xecn", false, "run the ECN coverage extension")
+		xtrace   = fs.Bool("xtrace", false, "run the TCP-trace methodology comparison")
+		scenario = fs.String("scenario", "", "registered topology scenarios to run, comma-separated; \"all\" runs the catalog, \"list\" prints it")
+		seed     = fs.Int64("seed", 1, "experiment seed")
+		quick    = fs.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+		ascii    = fs.Bool("ascii", false, "ASCII plots for the PDF figures")
+		reps     = fs.Int("reps", 1, "replications per loss-PDF artifact (adds a mean ± 95% CI aggregate)")
+		seq      = fs.Bool("seq", false, "run artifacts sequentially, streaming output")
+		workers  = fs.Int("workers", 0, "concurrent artifacts (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,19 +78,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *reps < 1 {
+		fmt.Fprintf(stderr, "paperexp: -reps must be at least 1, got %d\n", *reps)
+		return 2
+	}
 	figs := map[int]bool{}
 	if *fig != "" {
 		for _, part := range strings.Split(*fig, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				fmt.Fprintf(stderr, "paperexp: bad -fig value %q\n", part)
+				fmt.Fprintf(stderr, "paperexp: bad -fig value %q (want numbers like 2,3,4)\n", part)
+				return 2
+			}
+			if n < 1 || n > 8 {
+				fmt.Fprintf(stderr, "paperexp: unknown -fig value %d (valid artifacts: 1-8)\n", n)
 				return 2
 			}
 			figs[n] = true
 		}
 	}
+	var scenarioNames []string
+	switch *scenario {
+	case "":
+	case "all":
+		scenarioNames = topo.Names()
+	case "list":
+		for _, sc := range topo.Scenarios() {
+			fmt.Fprintf(stdout, "%-14s %s (%s)\n", sc.Name, sc.Description, sc.Topology)
+		}
+		return 0
+	default:
+		for _, part := range strings.Split(*scenario, ",") {
+			name := strings.TrimSpace(part)
+			if _, ok := topo.Lookup(name); !ok {
+				fmt.Fprintf(stderr, "paperexp: unknown scenario %q (registered: %s)\n",
+					name, strings.Join(topo.Names(), ", "))
+				return 2
+			}
+			scenarioNames = append(scenarioNames, name)
+		}
+	}
+	// -all implies the whole catalog, but an explicit -scenario selection
+	// narrows it rather than being silently overridden.
+	if *all && *scenario == "" {
+		scenarioNames = topo.Names()
+	}
 
-	e := &executor{seed: *seed, quick: *quick, ascii: *ascii, reps: *reps}
+	e := &executor{seed: *seed, quick: *quick, ascii: *ascii, reps: *reps, workers: *workers}
 	var arts []artifact
 	add := func(cond bool, name string, fn func(io.Writer) error) {
 		if cond {
@@ -103,6 +141,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	add(*all || *xtfrc, "Extension: TFRC vs NewReno", e.tfrc)
 	add(*all || *xecn, "Extension: ECN signal coverage", e.ecn)
 	add(*all || *xtrace, "Future work: TCP-trace methodology", e.tcptrace)
+	for _, name := range scenarioNames {
+		sc, _ := topo.Lookup(name)
+		add(true, "Scenario: "+sc.Name, func(w io.Writer) error { return e.scenario(w, sc) })
+	}
 
 	if len(arts) == 0 {
 		fs.Usage()
@@ -110,17 +152,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *seq || len(arts) == 1 {
+		// Like the parallel path, a failing artifact is reported and the
+		// rest still run; only the exit code remembers the failure.
+		code := 0
 		for _, a := range arts {
 			fmt.Fprintf(stdout, "==== %s ====\n", a.name)
 			start := time.Now()
 			if err := a.fn(stdout); err != nil {
 				fmt.Fprintf(stderr, "paperexp: %s: %v\n", a.name, err)
-				return 1
+				code = 1
+				continue
 			}
 			fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", a.name,
 				time.Since(start).Round(time.Millisecond))
 		}
-		return 0
+		return code
 	}
 
 	// Parallel: every artifact renders into its own buffer on the worker
@@ -155,10 +201,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 type executor struct {
-	seed  int64
-	quick bool
-	ascii bool
-	reps  int
+	seed    int64
+	quick   bool
+	ascii   bool
+	reps    int
+	workers int
+}
+
+// sweepOpts propagates the -workers bound into an artifact's inner sweep,
+// so `paperexp -workers 1` really is sequential instead of nesting a
+// GOMAXPROCS pool inside every artifact.
+func (e *executor) sweepOpts() core.SweepOptions {
+	return core.SweepOptions{Replications: e.replications(), Workers: e.workers}
 }
 
 func (e *executor) dur(full, quick sim.Duration) sim.Duration {
@@ -213,12 +267,30 @@ func (e *executor) replications() int {
 	return e.reps
 }
 
+// scenario renders one registered topology scenario: its catalog line,
+// then the same loss-PDF report the dumbbell figures produce.
+func (e *executor) scenario(w io.Writer, sc topo.Scenario) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n# topology: %s\n",
+		sc.Name, sc.Description, sc.Topology); err != nil {
+		return err
+	}
+	sweep, err := core.SweepScenario(sc.Name, topo.ScenarioConfig{
+		Seed:     e.seed,
+		Duration: e.dur(60*sim.Second, 15*sim.Second),
+		Warmup:   e.dur(10*sim.Second, 3*sim.Second),
+	}, e.sweepOpts())
+	if err != nil {
+		return err
+	}
+	return e.writeScenario(w, sweep)
+}
+
 func (e *executor) figure2(w io.Writer) error {
 	sweep, err := core.SweepFigure2(core.Fig2Config{
 		Seed:     e.seed,
 		Flows:    16,
 		Duration: e.dur(120*sim.Second, 30*sim.Second),
-	}, core.SweepOptions{Replications: e.replications()})
+	}, e.sweepOpts())
 	if err != nil {
 		return err
 	}
@@ -229,7 +301,7 @@ func (e *executor) figure3(w io.Writer) error {
 	sweep, err := core.SweepFigure3(core.Fig3Config{
 		Seed:     e.seed,
 		Duration: e.dur(120*sim.Second, 30*sim.Second),
-	}, core.SweepOptions{Replications: e.replications()})
+	}, e.sweepOpts())
 	if err != nil {
 		return err
 	}
@@ -241,6 +313,7 @@ func (e *executor) figure4(w io.Writer) error {
 		Seed:     e.seed,
 		Paths:    ifQuick(e.quick, 12, 60),
 		Duration: e.dur(5*60*sim.Second, 30*sim.Second),
+		Workers:  e.workers,
 	})
 	if err != nil {
 		return err
@@ -262,7 +335,7 @@ func (e *executor) figure7(w io.Writer) error {
 	sweep, err := core.SweepFigure7(core.Fig7Config{
 		Seed:     e.seed,
 		Duration: e.dur(40*sim.Second, 20*sim.Second),
-	}, core.SweepOptions{Replications: e.replications()})
+	}, e.sweepOpts())
 	if err != nil {
 		return err
 	}
@@ -277,7 +350,7 @@ func (e *executor) figure7(w io.Writer) error {
 }
 
 func (e *executor) figure8(w io.Writer) error {
-	cfg := core.Fig8Config{Seed: e.seed}
+	cfg := core.Fig8Config{Seed: e.seed, Workers: e.workers}
 	if e.quick {
 		cfg.TotalBytes = 8 << 20
 		cfg.Runs = 3
@@ -305,7 +378,7 @@ func (e *executor) ecn(w io.Writer) error {
 	results, err := core.RunECNComparison(core.ECNCoverageConfig{
 		Seed:     e.seed,
 		Duration: e.dur(30*sim.Second, 15*sim.Second),
-	}, modes, 0)
+	}, modes, e.workers)
 	if err != nil {
 		return err
 	}

@@ -70,3 +70,67 @@ func TestRunUsageOnNoSelection(t *testing.T) {
 		t.Fatalf("bad flag: exit %d", code)
 	}
 }
+
+// TestRunFlagValidation: malformed selections must fail loudly with a
+// clear message instead of being silently ignored.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"fig out of range", []string{"-fig", "9"}, "unknown -fig value 9"},
+		{"fig zero", []string{"-fig", "0"}, "unknown -fig value 0"},
+		{"fig negative", []string{"-fig", "-1"}, "unknown -fig value -1"},
+		{"fig not a number", []string{"-fig", "2,x"}, `bad -fig value "x"`},
+		{"fig empty token", []string{"-fig", "2,,3"}, `bad -fig value ""`},
+		{"fig unknown among valid", []string{"-fig", "2,3,42"}, "unknown -fig value 42"},
+		{"reps zero", []string{"-fig", "1", "-reps", "0"}, "-reps must be at least 1"},
+		{"reps negative", []string{"-fig", "1", "-reps", "-3"}, "-reps must be at least 1"},
+		{"unknown scenario", []string{"-scenario", "moebius-strip"}, `unknown scenario "moebius-strip"`},
+		{"unknown scenario among valid", []string{"-scenario", "dumbbell,nope"}, `unknown scenario "nope"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr %q missing %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+	// The unknown-scenario error must list what is available.
+	var stdout, stderr bytes.Buffer
+	run([]string{"-scenario", "nope"}, &stdout, &stderr)
+	if !strings.Contains(stderr.String(), "parking-lot") {
+		t.Fatalf("scenario error does not list the registry:\n%s", stderr.String())
+	}
+}
+
+func TestRunScenarioList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"dumbbell", "parking-lot", "access-tree", "hetero-mesh"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Fatalf("catalog missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunScenarioArtifact(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "access-tree", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "==== Scenario: access-tree ====") {
+		t.Fatalf("missing banner:\n%s", out)
+	}
+	if !strings.Contains(out, "# topology:") || !strings.Contains(out, "frac<0.01RTT") {
+		t.Fatalf("scenario render incomplete:\n%s", out)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 )
 
 // ParallelConfig describes one parallel-transfer experiment.
@@ -102,7 +103,7 @@ func RunParallel(cfg ParallelConfig) ParallelResult {
 		// delay.
 		delays[i] = cfg.RTT / 2
 	}
-	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: 0,
 		AccessRate:      10 * cfg.BottleneckRate,
@@ -120,7 +121,7 @@ func RunParallel(cfg ParallelConfig) ParallelResult {
 		if int64(i) < rem {
 			quota++
 		}
-		flows[i] = tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+		flows[i] = tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
 			PktSize:      cfg.PktSize,
 			TotalPackets: quota,
 			Paced:        cfg.Paced,

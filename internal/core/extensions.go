@@ -7,6 +7,7 @@ import (
 	"repro/internal/ratectl"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 )
 
 // TFRCCompConfig sets up the TFRC-vs-NewReno competition the paper cites
@@ -68,7 +69,7 @@ func RunTFRCCompetition(cfg TFRCCompConfig) (*TFRCCompResult, error) {
 	if buffer < 8 {
 		buffer = 8
 	}
-	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: 0,
 		AccessRate:      1_000_000_000,
@@ -79,7 +80,7 @@ func RunTFRCCompetition(cfg TFRCCompConfig) (*TFRCCompResult, error) {
 	// TCP NewReno flows on pairs [0,n).
 	var tcps []*tcp.Flow
 	for i := 0; i < n; i++ {
-		tcps = append(tcps, tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+		tcps = append(tcps, tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
 			PktSize:    cfg.PktSize,
 			InitialRTT: cfg.RTT,
 		}))
@@ -243,7 +244,7 @@ func RunECNCoverage(cfg ECNCoverageConfig, mode ECNMode) (*ECNCoverageResult, er
 		queue = netsim.NewRED(rc, rng)
 	}
 
-	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: 0,
 		AccessRate:      1_000_000_000,
@@ -265,7 +266,7 @@ func RunECNCoverage(cfg ECNCoverageConfig, mode ECNMode) (*ECNCoverageResult, er
 	useECN := mode != ModeDropTail
 	flows := make([]*tcp.Flow, cfg.Flows)
 	for i := range flows {
-		flows[i] = tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+		flows[i] = tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
 			PktSize:    cfg.PktSize,
 			InitialRTT: cfg.RTT,
 			ECN:        useECN,

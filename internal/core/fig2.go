@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -115,7 +116,7 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 				float64(cfg.PktSize*8),
 		}, sim.NewRand(sim.SubSeed(cfg.Seed, 4)))
 	}
-	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: 0,
 		AccessRate:      1_000_000_000,
@@ -134,7 +135,7 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 
 	flows := make([]*tcp.Flow, cfg.Flows)
 	for i := range flows {
-		flows[i] = tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+		flows[i] = tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
 			PktSize:         cfg.PktSize,
 			InitialRTT:      2 * delays[i],
 			InitialSSThresh: float64(buffer),

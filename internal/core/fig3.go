@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -101,7 +102,7 @@ func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
 		buffer = 8
 	}
 
-	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: 0,
 		AccessRate:      1_000_000_000,
@@ -125,7 +126,7 @@ func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
 
 	flows := make([]*tcp.Flow, nFlows)
 	for i := range flows {
-		flows[i] = tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+		flows[i] = tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
 			PktSize:         cfg.PktSize,
 			InitialRTT:      2 * delays[i],
 			InitialSSThresh: float64(buffer),

@@ -6,6 +6,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -85,7 +86,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 	if buffer < 8 {
 		buffer = 8
 	}
-	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: 0,
 		AccessRate:      1_000_000_000,
@@ -97,7 +98,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 	renoSeries := trace.NewThroughputSeries(cfg.Bin)
 
 	mk := func(pair, flowID int, paced bool, series *trace.ThroughputSeries) *tcp.Flow {
-		f := tcp.NewDumbbellFlow(d, pair, flowID, tcp.Config{
+		f := tcp.NewPairFlow(sched, d.SenderNode(pair), d.ReceiverNode(pair), flowID, tcp.Config{
 			PktSize:     cfg.PktSize,
 			Paced:       paced,
 			PaceQuantum: cfg.PaceQuantum,

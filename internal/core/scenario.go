@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/topo"
+
+	// Populate the scenario registry: every catalog entry becomes
+	// runnable through RunScenario and `paperexp -scenario`.
+	_ "repro/internal/topo/scenarios"
+)
+
+// RunScenario executes one registered topology scenario by name. An
+// unknown name returns an error listing the available scenarios.
+func RunScenario(name string, cfg topo.ScenarioConfig) (*ScenarioResult, error) {
+	sc, ok := topo.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scenario %q (registered: %s)",
+			name, strings.Join(topo.Names(), ", "))
+	}
+	res, err := sc.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Report:  res.Report,
+		Trace:   res.Trace,
+		MeanRTT: res.MeanRTT,
+		Bursts:  res.Bursts,
+		Drops:   res.Drops,
+	}, nil
+}
+
+// SweepScenario replicates a registered scenario across derived seeds,
+// exactly like SweepFigure2 replicates the NS-2 figure: replication 0
+// replays cfg.Seed, later replications draw SubSeed streams, and the
+// result is bit-identical for any worker count.
+func SweepScenario(name string, cfg topo.ScenarioConfig, opts SweepOptions) (*ScenarioSweep, error) {
+	if _, ok := topo.Lookup(name); !ok {
+		return nil, fmt.Errorf("core: unknown scenario %q (registered: %s)",
+			name, strings.Join(topo.Names(), ", "))
+	}
+	opts.fillDefaults()
+	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64) (*ScenarioResult, error) {
+			c := cfg
+			c.Seed = replicationSeed(cfg.Seed, i, seed)
+			return RunScenario(name, c)
+		})
+	return collectScenarioSweep(cfg.Seed, results)
+}

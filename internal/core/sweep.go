@@ -23,7 +23,9 @@ type SweepOptions struct {
 }
 
 func (o *SweepOptions) fillDefaults() {
-	if o.Replications == 0 {
+	// Nonpositive counts take the default too: a negative value would
+	// reach make() inside exp.Replicate and panic.
+	if o.Replications < 1 {
 		o.Replications = 4
 	}
 }

@@ -11,18 +11,25 @@ type Flow struct {
 	Receiver *Receiver
 }
 
+// NewPairFlow wires a TCP flow between two endpoint nodes of any built
+// topology. The supplied cfg's Flow/Src/Dst fields are filled in from the
+// flow id and the nodes' addresses; other fields are respected.
+func NewPairFlow(sched *sim.Scheduler, snd, rcv *netsim.Node, flowID int, cfg Config) *Flow {
+	cfg.Flow = flowID
+	cfg.Src = snd.Addr
+	cfg.Dst = rcv.Addr
+
+	s := NewSender(sched, snd, cfg)
+	r := NewReceiver(sched, rcv, flowID, cfg.Dst, cfg.Src, cfg.AckSize)
+	rcv.Bind(flowID, r)
+	snd.Bind(flowID, s)
+	return &Flow{Sender: s, Receiver: r}
+}
+
 // NewDumbbellFlow wires a TCP flow onto pair i of a dumbbell. The supplied
 // cfg's Flow/Src/Dst fields are filled in; other fields are respected.
 func NewDumbbellFlow(d *netsim.Dumbbell, i int, flowID int, cfg Config) *Flow {
-	cfg.Flow = flowID
-	cfg.Src = netsim.SenderAddr(i)
-	cfg.Dst = netsim.ReceiverAddr(i)
-
-	snd := NewSender(d.Sched, d.SenderNode(i), cfg)
-	rcv := NewReceiver(d.Sched, d.ReceiverNode(i), flowID, cfg.Dst, cfg.Src, cfg.AckSize)
-	d.ReceiverNode(i).Bind(flowID, rcv)
-	d.SenderNode(i).Bind(flowID, snd)
-	return &Flow{Sender: snd, Receiver: rcv}
+	return NewPairFlow(d.Sched, d.SenderNode(i), d.ReceiverNode(i), flowID, cfg)
 }
 
 // GoodputBits reports the bits delivered in-order to the receiver so far

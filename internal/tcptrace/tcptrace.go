@@ -15,6 +15,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -86,7 +87,7 @@ func Run(cfg Config) (*Result, error) {
 	if buffer < 8 {
 		buffer = 8
 	}
-	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
 		BottleneckRate: cfg.BottleneckRate,
 		AccessRate:     10 * cfg.BottleneckRate,
 		AccessDelays:   delays,
@@ -106,7 +107,7 @@ func Run(cfg Config) (*Result, error) {
 	inferred := &trace.Recorder{}
 	flows := make([]*tcp.Flow, cfg.Flows)
 	for i := range flows {
-		flows[i] = tcp.NewDumbbellFlow(d, i, i+1, tcp.Config{
+		flows[i] = tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
 			PktSize:         cfg.PktSize,
 			InitialRTT:      2 * delays[i],
 			InitialSSThresh: float64(buffer),

@@ -1,0 +1,275 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// edge identifies one directed link by node names.
+type edge struct{ from, to string }
+
+// PortInfo pairs a directed port with the node names it connects, for
+// iteration over a Network's links (e.g. to observe drops everywhere).
+type PortInfo struct {
+	From, To string
+	Port     *netsim.Port
+}
+
+// Network is a built topology: the netsim nodes and ports of a Spec wired
+// onto one scheduler, with static shortest-path routes installed and each
+// flow's base RTT precomputed. A Network is confined to the goroutine that
+// owns its scheduler, like every other simulated component.
+type Network struct {
+	// Sched is the scheduler every element of this world runs on.
+	Sched *sim.Scheduler
+
+	spec  Spec
+	nodes map[string]*netsim.Node
+	addr  map[string]int
+	ports map[edge]*netsim.Port
+	dirs  map[edge]Dir
+	edges []edge          // directed-port creation order
+	next  map[edge]string // (src,dst) -> next-hop node name
+	rtts  []sim.Duration  // per-flow base RTT
+}
+
+// Build wires spec onto sched. RED queues declared in the spec draw their
+// random streams from seed (via sim.SubSeed keyed by link position), so a
+// built world is a pure function of (spec, seed). It returns an error —
+// not a panic — on an inconsistent spec, a disconnected flow pair, or an
+// unroutable topology, naming the offending element.
+func Build(sched *sim.Scheduler, spec Spec, seed int64) (*Network, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("topo: Build requires a scheduler")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	n := &Network{
+		Sched: sched,
+		spec:  spec,
+		nodes: make(map[string]*netsim.Node, len(spec.Nodes)),
+		addr:  make(map[string]int, len(spec.Nodes)),
+		ports: make(map[edge]*netsim.Port, 2*len(spec.Links)),
+		dirs:  make(map[edge]Dir, 2*len(spec.Links)),
+		next:  make(map[edge]string),
+	}
+
+	// Addresses: explicit pins first, then the lowest unused positive
+	// address per remaining node, in declaration order.
+	used := make(map[int]bool, len(spec.Nodes))
+	for _, ns := range spec.Nodes {
+		if ns.Addr != 0 {
+			n.addr[ns.Name] = ns.Addr
+			used[ns.Addr] = true
+		}
+	}
+	nextAddr := 1
+	for _, ns := range spec.Nodes {
+		if ns.Addr == 0 {
+			for used[nextAddr] {
+				nextAddr++
+			}
+			n.addr[ns.Name] = nextAddr
+			used[nextAddr] = true
+		}
+		n.nodes[ns.Name] = netsim.NewNode(sched, n.addr[ns.Name])
+	}
+
+	// Ports: one per direction, in link order (A→B then B→A), each with
+	// its own queue instance.
+	for i, l := range spec.Links {
+		ab, ba := l.AB, l.mirrored()
+		for _, d := range []struct {
+			e   edge
+			dir Dir
+			tag int64
+		}{
+			{edge{l.A, l.B}, ab, int64(2 * i)},
+			{edge{l.B, l.A}, ba, int64(2*i + 1)},
+		} {
+			q := buildQueue(d.dir.Queue, sim.SubSeed(seed, d.tag))
+			link := netsim.NewLink(d.dir.Rate, d.dir.Delay, n.nodes[d.e.to])
+			n.ports[d.e] = netsim.NewPort(sched, q, link)
+			n.dirs[d.e] = d.dir
+			n.edges = append(n.edges, d.e)
+		}
+	}
+
+	n.computeRoutes()
+
+	// Flow RTTs double as the reachability check.
+	n.rtts = make([]sim.Duration, len(spec.Flows))
+	for i, f := range spec.Flows {
+		fwd, err := n.pathDelay(f.From, f.To)
+		if err != nil {
+			return nil, fmt.Errorf("topo: %s flow %d (%s): %w", spec.Name, i, flowName(f), err)
+		}
+		rev, err := n.pathDelay(f.To, f.From)
+		if err != nil {
+			return nil, fmt.Errorf("topo: %s flow %d (%s): %w", spec.Name, i, flowName(f), err)
+		}
+		n.rtts[i] = fwd + rev
+	}
+	return n, nil
+}
+
+func flowName(f FlowSpec) string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return f.From + "→" + f.To
+}
+
+// buildQueue realizes a QueueSpec. seed feeds RED's random stream.
+func buildQueue(q QueueSpec, seed int64) netsim.Queue {
+	if q.Custom != nil {
+		return q.Custom
+	}
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultQueueLimit
+	}
+	if r := q.RED; r != nil {
+		return netsim.NewRED(netsim.REDConfig{
+			Limit:            limit,
+			MinTh:            r.MinTh,
+			MaxTh:            r.MaxTh,
+			MaxP:             r.MaxP,
+			Wq:               r.Wq,
+			ECN:              r.ECN,
+			Gentle:           r.Gentle,
+			PersistMark:      r.PersistMark,
+			PacketsPerSecond: r.PacketsPerSecond,
+		}, sim.NewRand(seed))
+	}
+	return netsim.NewDropTail(limit)
+}
+
+// computeRoutes installs static next-hop routes on every node for every
+// reachable destination, using breadth-first shortest paths. Ties are
+// broken deterministically by link declaration order, so two builds of the
+// same Spec always route identically.
+func (n *Network) computeRoutes() {
+	// Adjacency in link-declaration order.
+	adj := make(map[string][]string, len(n.nodes))
+	for _, l := range n.spec.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+
+	for _, src := range n.spec.Nodes {
+		parent := map[string]string{src.Name: src.Name}
+		queue := []string{src.Name}
+		var order []string // BFS visit order, deterministic
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if _, seen := parent[nb]; !seen {
+					parent[nb] = cur
+					queue = append(queue, nb)
+					order = append(order, nb)
+				}
+			}
+		}
+		for _, dst := range order {
+			// First hop: walk the parent chain from dst back to src.
+			hop := dst
+			for parent[hop] != src.Name {
+				hop = parent[hop]
+			}
+			n.next[edge{src.Name, dst}] = hop
+			n.nodes[src.Name].AddRoute(n.addr[dst], n.ports[edge{src.Name, hop}])
+		}
+	}
+}
+
+// pathDelay sums the one-way propagation delays along the installed route
+// from one node to another.
+func (n *Network) pathDelay(from, to string) (sim.Duration, error) {
+	var total sim.Duration
+	cur := from
+	for cur != to {
+		hop, ok := n.next[edge{cur, to}]
+		if !ok {
+			return 0, fmt.Errorf("no route from %q to %q", from, to)
+		}
+		total += n.dirs[edge{cur, hop}].Delay
+		cur = hop
+	}
+	return total, nil
+}
+
+// Node returns the built node by name, or panics on an unknown name (a
+// wiring bug in the caller, like netsim's no-route panic).
+func (n *Network) Node(name string) *netsim.Node {
+	nd, ok := n.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown node %q", name))
+	}
+	return nd
+}
+
+// Addr returns the address assigned to the named node.
+func (n *Network) Addr(name string) int {
+	a, ok := n.addr[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown node %q", name))
+	}
+	return a
+}
+
+// Port returns the directed port from one named node to an adjacent one.
+func (n *Network) Port(from, to string) *netsim.Port {
+	p, ok := n.ports[edge{from, to}]
+	if !ok {
+		panic(fmt.Sprintf("topo: no link %q→%q", from, to))
+	}
+	return p
+}
+
+// Ports lists every directed port with its endpoints, in link declaration
+// order (A→B before B→A) — the deterministic iteration scenarios use to
+// attach drop observers to every hop.
+func (n *Network) Ports() []PortInfo {
+	out := make([]PortInfo, len(n.edges))
+	for i, e := range n.edges {
+		out[i] = PortInfo{From: e.from, To: e.to, Port: n.ports[e]}
+	}
+	return out
+}
+
+// NumFlows reports how many endpoint pairs the spec declared.
+func (n *Network) NumFlows() int { return len(n.spec.Flows) }
+
+// Flow returns the i'th flow declaration.
+func (n *Network) Flow(i int) FlowSpec { return n.spec.Flows[i] }
+
+// FlowSender returns the sending-side node of flow i.
+func (n *Network) FlowSender(i int) *netsim.Node { return n.nodes[n.spec.Flows[i].From] }
+
+// FlowReceiver returns the receiving-side node of flow i.
+func (n *Network) FlowReceiver(i int) *netsim.Node { return n.nodes[n.spec.Flows[i].To] }
+
+// FlowRTT reports the base (unloaded, zero-size-packet) round-trip time of
+// flow i: the sum of propagation delays along the routed path there and
+// back, excluding queueing and serialization — the same convention as the
+// dumbbell's PairRTT.
+func (n *Network) FlowRTT(i int) sim.Duration { return n.rtts[i] }
+
+// MeanFlowRTT is the average base RTT over all declared flows, the
+// normalization constant scenario analyses hand to analysis.Analyze.
+func (n *Network) MeanFlowRTT() sim.Duration {
+	if len(n.rtts) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, r := range n.rtts {
+		sum += r
+	}
+	return sum / sim.Duration(len(n.rtts))
+}

@@ -1,0 +1,119 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Dumbbell node-naming scheme used by DumbbellSpec.
+const (
+	leftRouterName  = "L"
+	rightRouterName = "R"
+)
+
+func senderName(i int) string   { return fmt.Sprintf("s%d", i) }
+func receiverName(i int) string { return fmt.Sprintf("r%d", i) }
+
+// DumbbellSpec expresses netsim.DumbbellConfig — the paper's Figure-1
+// topology — as a declarative Spec: the generic builder then produces a
+// world with exactly the wiring netsim.NewDumbbell hand-assembles (same
+// addresses, queue sizes, delays and routes), which is what lets the
+// dumbbell figures run through the topology subsystem unchanged.
+func DumbbellSpec(cfg netsim.DumbbellConfig) Spec {
+	s := Spec{Name: "dumbbell"}
+	s.Nodes = append(s.Nodes,
+		NodeSpec{Name: leftRouterName, Addr: 1},
+		NodeSpec{Name: rightRouterName, Addr: 2},
+	)
+
+	fwd := QueueSpec{Custom: cfg.Queue, Limit: cfg.Buffer}
+	rev := QueueSpec{Custom: cfg.ReverseQueue, Limit: cfg.Buffer}
+	if rev.Custom == nil && rev.Limit < 1024 {
+		// Generous reverse buffer: ACKs should not drop unless asked,
+		// mirroring netsim.NewDumbbell.
+		rev.Limit = 1024
+	}
+	s.Links = append(s.Links, LinkSpec{
+		A: leftRouterName, B: rightRouterName,
+		AB: Dir{Rate: cfg.BottleneckRate, Delay: cfg.BottleneckDelay, Queue: fwd},
+		BA: Dir{Rate: cfg.BottleneckRate, Delay: cfg.BottleneckDelay, Queue: rev},
+	})
+
+	for i, delay := range cfg.AccessDelays {
+		half := delay / 2
+		s.Nodes = append(s.Nodes,
+			NodeSpec{Name: senderName(i), Addr: netsim.SenderAddr(i)},
+			NodeSpec{Name: receiverName(i), Addr: netsim.ReceiverAddr(i)},
+		)
+		access := Dir{Rate: cfg.AccessRate, Delay: half, Queue: QueueSpec{Limit: DefaultQueueLimit}}
+		s.Links = append(s.Links,
+			LinkSpec{A: senderName(i), B: leftRouterName, AB: access},
+			LinkSpec{A: rightRouterName, B: receiverName(i), AB: access},
+		)
+		s.Flows = append(s.Flows, FlowSpec{
+			Label: fmt.Sprintf("pair%d", i),
+			From:  senderName(i),
+			To:    receiverName(i),
+		})
+	}
+	return s
+}
+
+// Dumbbell is the topo-built dumbbell with the accessor surface the
+// experiment runners use: the shared bottleneck ports for drop observation
+// and noise injection, the routers for sink binding, and per-pair endpoint
+// nodes for transport wiring.
+type Dumbbell struct {
+	// Net is the underlying generic network.
+	Net *Network
+	// Sched is the world's scheduler.
+	Sched *sim.Scheduler
+
+	// LeftRouter aggregates senders and owns the forward bottleneck port;
+	// RightRouter aggregates receivers and owns the reverse one.
+	LeftRouter  *netsim.Node
+	RightRouter *netsim.Node
+
+	// Forward is the left→right bottleneck port (where data-direction
+	// drops happen); Reverse is right→left.
+	Forward *netsim.Port
+	Reverse *netsim.Port
+}
+
+// NewDumbbell builds DumbbellSpec(cfg) onto sched through the generic
+// builder. It panics on an invalid config, matching netsim.NewDumbbell's
+// contract (a malformed dumbbell is a programming error in the caller).
+func NewDumbbell(sched *sim.Scheduler, cfg netsim.DumbbellConfig) *Dumbbell {
+	if cfg.Buffer <= 0 && cfg.Queue == nil {
+		panic("topo: dumbbell needs a buffer size or an explicit queue")
+	}
+	if len(cfg.AccessDelays) == 0 {
+		panic("topo: dumbbell needs at least one endpoint pair")
+	}
+	net, err := Build(sched, DumbbellSpec(cfg), 0)
+	if err != nil {
+		panic(fmt.Sprintf("topo: dumbbell spec did not build: %v", err))
+	}
+	return &Dumbbell{
+		Net:         net,
+		Sched:       sched,
+		LeftRouter:  net.Node(leftRouterName),
+		RightRouter: net.Node(rightRouterName),
+		Forward:     net.Port(leftRouterName, rightRouterName),
+		Reverse:     net.Port(rightRouterName, leftRouterName),
+	}
+}
+
+// NumPairs reports how many endpoint pairs the dumbbell has.
+func (d *Dumbbell) NumPairs() int { return d.Net.NumFlows() }
+
+// SenderNode returns the sender-side endpoint node for pair i.
+func (d *Dumbbell) SenderNode(i int) *netsim.Node { return d.Net.FlowSender(i) }
+
+// ReceiverNode returns the receiver-side endpoint node for pair i.
+func (d *Dumbbell) ReceiverNode(i int) *netsim.Node { return d.Net.FlowReceiver(i) }
+
+// PairRTT reports the base round-trip time of pair i.
+func (d *Dumbbell) PairRTT(i int) sim.Duration { return d.Net.FlowRTT(i) }

@@ -1,0 +1,121 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ScenarioConfig carries the knobs every registered scenario understands.
+// Topology-specific parameters (hop counts, rates, RTT sources) are fixed
+// by the scenario itself so that a scenario name plus this config fully
+// determines a run.
+type ScenarioConfig struct {
+	// Seed determines every random stream of the run. Scenarios derive
+	// their internal streams with sim.SubSeed, so equal seeds mean
+	// bit-identical worlds.
+	Seed int64
+	// Duration is the simulated run length (default 60 s).
+	Duration sim.Duration
+	// Warmup discards losses before this time (default 10 s).
+	Warmup sim.Duration
+	// PktSize is the transport segment size in bytes (default 1000).
+	PktSize int
+}
+
+// FillDefaults applies the paper-style defaults to zero fields.
+func (c *ScenarioConfig) FillDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 60 * sim.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10 * sim.Second
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+}
+
+// ScenarioResult is a scenario run's outcome: the same burstiness analysis
+// the dumbbell figures produce, so every registered topology is directly
+// comparable to the paper's Figures 2–4.
+type ScenarioResult struct {
+	// Report is the inter-loss-interval PDF analysis.
+	Report *analysis.Report
+	// Trace is the raw post-warmup drop trace.
+	Trace *trace.Recorder
+	// MeanRTT is the normalization RTT handed to the analysis.
+	MeanRTT sim.Duration
+	// Bursts summarizes RTT-grouped loss bursts.
+	Bursts analysis.BurstStats
+	// Drops is the number of recorded losses.
+	Drops int
+}
+
+// Scenario is one registered topology/workload combination.
+type Scenario struct {
+	// Name is the registry key, used by `paperexp -scenario <name>`.
+	Name string
+	// Description is a one-line summary for catalogs.
+	Description string
+	// Topology summarizes the path structure (nodes/links/bottlenecks).
+	Topology string
+	// Run executes one world with the given config. Implementations must
+	// honor the determinism contract: build everything inside Run, derive
+	// all randomness from cfg.Seed, and never share state across calls.
+	Run func(cfg ScenarioConfig) (*ScenarioResult, error)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Scenario{}
+)
+
+// Register adds a scenario to the global registry. It panics on a missing
+// name or Run function and on duplicate registration — all three are
+// programming errors at package init time.
+func Register(s Scenario) {
+	if s.Name == "" || s.Run == nil {
+		panic("topo: Register requires a name and a Run function")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("topo: scenario %q registered twice", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Scenarios lists the registered scenarios sorted by name.
+func Scenarios() []Scenario {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	all := Scenarios()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}

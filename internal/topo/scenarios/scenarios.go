@@ -1,0 +1,401 @@
+// Package scenarios registers the repository's scenario catalog with the
+// topo registry: the paper's dumbbell baseline plus the topologies the
+// paper's conclusions are claimed to generalize to — a parking-lot chain
+// of bottlenecks with per-hop cross traffic, a shared-access tree with one
+// congested uplink, and a heterogeneous-RTT multi-bottleneck mesh whose
+// path latencies come from the synthetic PlanetLab testbed. Importing this
+// package (usually blank, for the side effect) populates topo.Scenarios();
+// each scenario produces the same analysis.Report burstiness metrics as
+// the dumbbell figures, so the paper's sub-RTT-clustering result can be
+// checked on every topology with one command:
+//
+//	paperexp -scenario all
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/crosstraffic"
+	"repro/internal/netsim"
+	"repro/internal/planetlab"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func init() {
+	topo.Register(topo.Scenario{
+		Name:        "dumbbell",
+		Description: "the paper's Figure-1 baseline through the declarative builder",
+		Topology:    "2 routers, 1 shared DropTail bottleneck, 16 pairs, U[2,200]ms access",
+		Run:         runDumbbell,
+	})
+	topo.Register(topo.Scenario{
+		Name:        "parking-lot",
+		Description: "bottlenecks in series with independent cross traffic per hop",
+		Topology:    "4 routers, 3 congested 30 Mbps hops, 8 end-to-end pairs",
+		Run:         runParkingLot,
+	})
+	topo.Register(topo.Scenario{
+		Name:        "access-tree",
+		Description: "shared-access tree: one congested uplink feeding per-leaf access links",
+		Topology:    "8 leaves → edge → 20 Mbps uplink → core → server",
+		Run:         runAccessTree,
+	})
+	topo.Register(topo.Scenario{
+		Name:        "hetero-mesh",
+		Description: "heterogeneous-RTT multi-bottleneck mesh driven by PlanetLab path latencies",
+		Topology:    "3-router backbone, 2 unequal bottlenecks, 8 PlanetLab-RTT pairs",
+		Run:         runHeteroMesh,
+	})
+}
+
+// world bundles the per-run state every scenario shares: one scheduler,
+// the drop recorder, and the warmup cutoff.
+type world struct {
+	sched *sim.Scheduler
+	rec   *trace.Recorder
+	warm  sim.Time
+}
+
+func newWorld(cfg topo.ScenarioConfig) *world {
+	return &world{sched: sim.NewScheduler(), rec: &trace.Recorder{}, warm: sim.Time(cfg.Warmup)}
+}
+
+// observeDrops records post-warmup losses at the given ports. Ports fire
+// OnDrop in simulated-time order, so the merged trace stays sorted even
+// across multiple bottlenecks.
+func (w *world) observeDrops(ports ...*netsim.Port) {
+	for _, p := range ports {
+		p.OnDrop = func(pkt *netsim.Packet, at sim.Time) {
+			if at >= w.warm {
+				w.rec.Add(trace.LossEvent{At: at, Flow: pkt.Flow, Seq: pkt.Seq, Size: pkt.Size})
+			}
+		}
+	}
+}
+
+// finish runs the world to cfg.Duration and analyzes the merged trace.
+func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duration) (*topo.ScenarioResult, error) {
+	w.sched.RunUntil(sim.Time(cfg.Duration))
+	if w.rec.Len() < 2 {
+		return nil, fmt.Errorf("scenarios: %s produced %d drops; increase duration or load", name, w.rec.Len())
+	}
+	report, err := analysis.AnalyzeTrace(w.rec, meanRTT, analysis.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &topo.ScenarioResult{
+		Report:  report,
+		Trace:   w.rec,
+		MeanRTT: meanRTT,
+		Bursts:  analysis.SummarizeBursts(w.rec.Events(), meanRTT/4),
+		Drops:   w.rec.Len(),
+	}, nil
+}
+
+// startFlows wires one TCP flow per declared endpoint pair and staggers
+// the starts over spread to avoid artificial global synchronization.
+func startFlows(net *topo.Network, cfg topo.ScenarioConfig, ssthresh float64, spread sim.Duration) {
+	n := net.NumFlows()
+	for i := 0; i < n; i++ {
+		f := tcp.NewPairFlow(net.Sched, net.FlowSender(i), net.FlowReceiver(i), i+1, tcp.Config{
+			PktSize:         cfg.PktSize,
+			InitialRTT:      net.FlowRTT(i),
+			InitialSSThresh: ssthresh,
+		})
+		f.StartAt(net.Sched, sim.Time(sim.Duration(i)*spread/sim.Duration(n)))
+	}
+}
+
+// absorb installs packet sinks on the named nodes so injected cross
+// traffic addressed to them disappears there.
+func absorb(net *topo.Network, names ...string) {
+	for _, name := range names {
+		net.Node(name).BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+	}
+}
+
+// noiseInto starts an on–off noise ensemble injecting into port, addressed
+// from srcAddr to the absorbing node dst.
+func noiseInto(net *topo.Network, port *netsim.Port, n int, capacity int64,
+	fraction float64, flowBase int, srcAddr int, dst string, seed int64) {
+	for _, nz := range crosstraffic.NoiseSet(net.Sched, port, n, capacity,
+		fraction, flowBase, srcAddr, net.Addr(dst), seed) {
+		nz.Start()
+	}
+}
+
+// bufferFor sizes a bottleneck buffer as half the BDP at the mean RTT,
+// with the same floor the figure runners use.
+func bufferFor(rate int64, meanRTT sim.Duration, pktSize int) int {
+	b := netsim.BDP(rate, meanRTT, pktSize) / 2
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// runDumbbell is the paper's NS-2 setup expressed as a registered
+// scenario: the Figure-2 world built through the declarative spec path.
+func runDumbbell(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+	cfg.FillDefaults()
+	const (
+		flows = 16
+		rate  = 100_000_000
+	)
+	w := newWorld(cfg)
+	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
+	delays := netsim.RandomAccessDelays(rng, flows, 2*sim.Millisecond, 200*sim.Millisecond)
+
+	var meanRTT sim.Duration
+	for _, d := range delays {
+		meanRTT += 2 * d
+	}
+	meanRTT /= flows
+	buffer := bufferFor(rate, meanRTT, cfg.PktSize)
+
+	d := topo.NewDumbbell(w.sched, netsim.DumbbellConfig{
+		BottleneckRate: rate,
+		AccessRate:     1_000_000_000,
+		AccessDelays:   delays,
+		Buffer:         buffer,
+	})
+	w.observeDrops(d.Forward)
+	startFlows(d.Net, cfg, float64(buffer), 2*sim.Second)
+
+	absorb(d.Net, "L", "R")
+	noiseInto(d.Net, d.Forward, 25, rate, 0.05, 100000, netsim.SenderAddr(0), "R", sim.SubSeed(cfg.Seed, 2))
+	noiseInto(d.Net, d.Reverse, 25, rate, 0.05, 200000, netsim.ReceiverAddr(0), "L", sim.SubSeed(cfg.Seed, 3))
+
+	return w.finish("dumbbell", cfg, meanRTT)
+}
+
+// runParkingLot chains several congested hops in series — the classic
+// parking-lot topology. Every hop carries its own on–off cross traffic, so
+// losses cluster independently at multiple queues along the path.
+func runParkingLot(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+	cfg.FillDefaults()
+	const (
+		hops    = 3
+		flows   = 8
+		hopRate = 30_000_000
+	)
+	w := newWorld(cfg)
+	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
+	delays := netsim.RandomAccessDelays(rng, flows, 2*sim.Millisecond, 100*sim.Millisecond)
+
+	// Mean base RTT: 2·access + 2·(per-hop delay · hops); used to size the
+	// per-hop buffers before the network exists.
+	hopDelay := 2 * sim.Millisecond
+	var meanRTT sim.Duration
+	for _, d := range delays {
+		meanRTT += 2*d + 2*sim.Duration(hops)*hopDelay
+	}
+	meanRTT /= flows
+	buffer := bufferFor(hopRate, meanRTT, cfg.PktSize)
+
+	spec := topo.Spec{Name: "parking-lot"}
+	for h := 0; h <= hops; h++ {
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: router(h)})
+	}
+	for h := 0; h < hops; h++ {
+		spec.Links = append(spec.Links, topo.LinkSpec{
+			A: router(h), B: router(h + 1),
+			AB: topo.Dir{Rate: hopRate, Delay: hopDelay, Queue: topo.QueueSpec{Limit: buffer}},
+			BA: topo.Dir{Rate: hopRate, Delay: hopDelay, Queue: topo.QueueSpec{Limit: topo.DefaultQueueLimit}},
+		})
+	}
+	for i, d := range delays {
+		snd, rcv := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: snd}, topo.NodeSpec{Name: rcv})
+		access := topo.Dir{Rate: 1_000_000_000, Delay: d / 2}
+		spec.Links = append(spec.Links,
+			topo.LinkSpec{A: snd, B: router(0), AB: access},
+			topo.LinkSpec{A: router(hops), B: rcv, AB: access},
+		)
+		spec.Flows = append(spec.Flows, topo.FlowSpec{From: snd, To: rcv})
+	}
+
+	net, err := topo.Build(w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	if err != nil {
+		return nil, err
+	}
+
+	var hopPorts []*netsim.Port
+	for h := 0; h < hops; h++ {
+		hopPorts = append(hopPorts, net.Port(router(h), router(h+1)))
+	}
+	w.observeDrops(hopPorts...)
+	startFlows(net, cfg, float64(buffer), 2*sim.Second)
+
+	// Per-hop cross traffic: each hop's ensemble enters at the hop's head
+	// router and is absorbed one hop downstream, so hop j's noise loads
+	// only queue j — the defining feature of the parking lot.
+	routers := make([]string, hops+1)
+	for h := range routers {
+		routers[h] = router(h)
+	}
+	absorb(net, routers...)
+	for h := 0; h < hops; h++ {
+		noiseInto(net, hopPorts[h], 8, hopRate, 0.25, 100000+1000*h,
+			net.Addr(router(h)), router(h+1), sim.SubSeed(cfg.Seed, int64(10+h)))
+	}
+
+	return w.finish("parking-lot", cfg, net.MeanFlowRTT())
+}
+
+func router(h int) string { return fmt.Sprintf("R%d", h) }
+
+// runAccessTree models the shared-access tree: leaves with individual
+// access links all feed one congested uplink toward a server — the
+// broadband/campus aggregation shape, where every leaf's losses happen at
+// the same shared queue.
+func runAccessTree(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+	cfg.FillDefaults()
+	const (
+		leaves     = 8
+		uplinkRate = 20_000_000
+		leafRate   = 100_000_000
+	)
+	w := newWorld(cfg)
+	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
+	delays := netsim.RandomAccessDelays(rng, leaves, sim.Millisecond, 60*sim.Millisecond)
+
+	var meanRTT sim.Duration
+	for _, d := range delays {
+		meanRTT += 2 * (d + 2*sim.Millisecond + sim.Millisecond)
+	}
+	meanRTT /= leaves
+	buffer := bufferFor(uplinkRate, meanRTT, cfg.PktSize)
+
+	spec := topo.Spec{Name: "access-tree"}
+	spec.Nodes = append(spec.Nodes,
+		topo.NodeSpec{Name: "edge"},
+		topo.NodeSpec{Name: "core"},
+		topo.NodeSpec{Name: "server"},
+	)
+	spec.Links = append(spec.Links,
+		// The congested uplink: edge → core carries every leaf's data.
+		topo.LinkSpec{
+			A: "edge", B: "core",
+			AB: topo.Dir{Rate: uplinkRate, Delay: 2 * sim.Millisecond, Queue: topo.QueueSpec{Limit: buffer}},
+			BA: topo.Dir{Rate: uplinkRate, Delay: 2 * sim.Millisecond, Queue: topo.QueueSpec{Limit: topo.DefaultQueueLimit}},
+		},
+		topo.LinkSpec{
+			A: "core", B: "server",
+			AB: topo.Dir{Rate: 1_000_000_000, Delay: sim.Millisecond},
+		},
+	)
+	for i, d := range delays {
+		leaf := fmt.Sprintf("leaf%d", i)
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: leaf})
+		spec.Links = append(spec.Links, topo.LinkSpec{
+			A: leaf, B: "edge",
+			AB: topo.Dir{Rate: leafRate, Delay: d},
+		})
+		spec.Flows = append(spec.Flows, topo.FlowSpec{From: leaf, To: "server"})
+	}
+
+	net, err := topo.Build(w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	if err != nil {
+		return nil, err
+	}
+
+	uplink := net.Port("edge", "core")
+	w.observeDrops(uplink)
+	startFlows(net, cfg, float64(buffer), 2*sim.Second)
+
+	absorb(net, "edge", "core")
+	noiseInto(net, uplink, 10, uplinkRate, 0.15, 100000,
+		net.Addr("edge"), "core", sim.SubSeed(cfg.Seed, 3))
+
+	return w.finish("access-tree", cfg, net.MeanFlowRTT())
+}
+
+// runHeteroMesh routes flow pairs with PlanetLab-derived RTTs over a
+// backbone with two unequal bottlenecks in series — wide-area RTT
+// heterogeneity (2 ms to 350 ms) meeting multiple congestion points, the
+// closest registered shape to the paper's Internet measurements.
+func runHeteroMesh(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+	cfg.FillDefaults()
+	const (
+		pairs     = 8
+		westRate  = 60_000_000
+		eastRate  = 40_000_000
+		coreDelay = 5 * sim.Millisecond
+	)
+	w := newWorld(cfg)
+
+	// Path RTTs come from the synthetic PlanetLab mesh: pick site pairs
+	// deterministically and fold each pair's wide-area latency into its
+	// two access links, with the 2·coreDelay backbone in the middle.
+	mesh := planetlab.NewMesh(planetlab.MeshConfig{Seed: cfg.Seed})
+	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
+	sitePairs := mesh.RandomPairs(rng, pairs)
+
+	var meanRTT sim.Duration
+	access := make([]sim.Duration, pairs)
+	for i, p := range sitePairs {
+		rtt := mesh.PathParams(p[0], p[1]).RTT
+		// Per-side access delay so the base RTT ≈ the PlanetLab path RTT.
+		a := (rtt - 4*coreDelay) / 4
+		if a < sim.Millisecond {
+			a = sim.Millisecond
+		}
+		access[i] = a
+		meanRTT += 4*a + 4*coreDelay
+	}
+	meanRTT /= pairs
+	westBuf := bufferFor(westRate, meanRTT, cfg.PktSize)
+	eastBuf := bufferFor(eastRate, meanRTT, cfg.PktSize)
+
+	spec := topo.Spec{Name: "hetero-mesh"}
+	spec.Nodes = append(spec.Nodes,
+		topo.NodeSpec{Name: "B0"}, topo.NodeSpec{Name: "B1"}, topo.NodeSpec{Name: "B2"},
+	)
+	spec.Links = append(spec.Links,
+		topo.LinkSpec{
+			A: "B0", B: "B1",
+			AB: topo.Dir{Rate: westRate, Delay: coreDelay, Queue: topo.QueueSpec{Limit: westBuf}},
+			BA: topo.Dir{Rate: westRate, Delay: coreDelay, Queue: topo.QueueSpec{Limit: topo.DefaultQueueLimit}},
+		},
+		topo.LinkSpec{
+			A: "B1", B: "B2",
+			AB: topo.Dir{Rate: eastRate, Delay: coreDelay, Queue: topo.QueueSpec{Limit: eastBuf}},
+			BA: topo.Dir{Rate: eastRate, Delay: coreDelay, Queue: topo.QueueSpec{Limit: topo.DefaultQueueLimit}},
+		},
+	)
+	for i, p := range sitePairs {
+		src := mesh.Sites[p[0]]
+		snd, rcv := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: snd}, topo.NodeSpec{Name: rcv})
+		dir := topo.Dir{Rate: 1_000_000_000, Delay: access[i]}
+		spec.Links = append(spec.Links,
+			topo.LinkSpec{A: snd, B: "B0", AB: dir},
+			topo.LinkSpec{A: "B2", B: rcv, AB: dir},
+		)
+		spec.Flows = append(spec.Flows, topo.FlowSpec{
+			Label: fmt.Sprintf("%s→%s", src.Host, mesh.Sites[p[1]].Host),
+			From:  snd,
+			To:    rcv,
+		})
+	}
+
+	net, err := topo.Build(w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	if err != nil {
+		return nil, err
+	}
+
+	west, east := net.Port("B0", "B1"), net.Port("B1", "B2")
+	w.observeDrops(west, east)
+	startFlows(net, cfg, float64(westBuf), 2*sim.Second)
+
+	absorb(net, "B0", "B1", "B2")
+	noiseInto(net, west, 8, westRate, 0.2, 100000, net.Addr("B0"), "B1", sim.SubSeed(cfg.Seed, 3))
+	noiseInto(net, east, 8, eastRate, 0.2, 200000, net.Addr("B1"), "B2", sim.SubSeed(cfg.Seed, 4))
+
+	return w.finish("hetero-mesh", cfg, net.MeanFlowRTT())
+}

@@ -1,0 +1,127 @@
+// Command docscheck is the CI documentation gate. It walks the repository
+// and fails (exit 1, one line per finding) when
+//
+//   - a Go package has no package doc comment on any of its files
+//     (test-only packages are exempt), or
+//   - a markdown file at the repo root or in examples/ contains an
+//     intra-repository link to a file that does not exist.
+//
+// Run it from the repository root:
+//
+//	go run ./tools/docscheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var problems []string
+	problems = append(problems, checkPackageDocs(".")...)
+	problems = append(problems, checkMarkdownLinks(".")...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: package docs and markdown links OK")
+}
+
+// checkPackageDocs requires every non-test package to carry a package doc
+// comment on at least one file.
+func checkPackageDocs(root string) []string {
+	// dir -> has any non-test Go file / has a package doc comment.
+	type pkgState struct{ hasGo, hasDoc bool }
+	pkgs := map[string]*pkgState{}
+
+	fset := token.NewFileSet()
+	walkErr := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "vendor" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		st := pkgs[dir]
+		if st == nil {
+			st = &pkgState{}
+			pkgs[dir] = st
+		}
+		st.hasGo = true
+		// PackageClauseOnly keeps the parse cheap; ParseComments retains
+		// the doc comment attached to the package clause.
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr == nil && f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			st.hasDoc = true
+		}
+		return nil
+	})
+
+	var dirs []string
+	for dir, st := range pkgs {
+		if st.hasGo && !st.hasDoc {
+			dirs = append(dirs, dir)
+		}
+	}
+	sort.Strings(dirs)
+	out := make([]string, len(dirs))
+	for i, dir := range dirs {
+		out[i] = fmt.Sprintf("package %s has no package doc comment", dir)
+	}
+	if walkErr != nil {
+		// A partial scan must not pass as green.
+		out = append(out, fmt.Sprintf("package scan aborted: %v", walkErr))
+	}
+	return out
+}
+
+// mdLink matches [text](target) links; target group 1 stops at '#' or ')'.
+var mdLink = regexp.MustCompile(`\]\(([^)#\s]+)[^)]*\)`)
+
+// checkMarkdownLinks verifies that relative links in the root and
+// examples/ markdown files point at files that exist.
+func checkMarkdownLinks(root string) []string {
+	var files []string
+	for _, glob := range []string{"*.md", "examples/*.md", ".github/*.md"} {
+		m, _ := filepath.Glob(filepath.Join(root, glob))
+		files = append(files, m...)
+	}
+	sort.Strings(files)
+
+	var out []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				out = append(out, fmt.Sprintf("%s: broken link %q", file, target))
+			}
+		}
+	}
+	return out
+}
