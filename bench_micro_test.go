@@ -1,0 +1,162 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/topo"
+)
+
+// The micro-benchmarks in this file isolate the simulator's per-packet hot
+// paths — scheduler timer churn, port enqueue/dequeue, the RED decision
+// path, and a full dumbbell world — so the CI bench-gate can localize a
+// regression instead of only seeing it smeared across a whole figure run.
+// All of them ReportAllocs: the engine's contract is an allocation-free
+// steady state, and allocs/op is the machine-independent half of the gate.
+
+// BenchmarkSchedulerChurn models the TCP retransmission-timer pattern that
+// dominates scheduler load: every "ACK" cancels a pending timer and arms a
+// new one (lazy deletion leaves a tombstone each time), with the timer
+// itself almost never firing.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	b.ReportAllocs()
+	const acks = 100000
+	for i := 0; i < b.N; i++ {
+		s := sim.NewScheduler()
+		timeout := func() {}
+		var rto sim.Timer
+		n := 0
+		var ack func()
+		ack = func() {
+			if rto.Pending() {
+				s.Cancel(rto)
+			}
+			rto = s.After(200*sim.Millisecond, timeout)
+			n++
+			if n < acks {
+				s.After(10*sim.Microsecond, ack)
+			}
+		}
+		s.After(0, ack)
+		s.Run()
+		if n != acks {
+			b.Fatalf("ran %d acks", n)
+		}
+	}
+}
+
+// BenchmarkLinkEnqueueDequeue drives one overloaded DropTail port: bursts
+// arrive faster than the link drains, so the benchmark exercises enqueue,
+// serialization scheduling, delivery and the drop-recycle path together.
+func BenchmarkLinkEnqueueDequeue(b *testing.B) {
+	b.ReportAllocs()
+	const total = 100000
+	for i := 0; i < b.N; i++ {
+		sched := sim.NewScheduler()
+		pool := netsim.NewPacketPool()
+		delivered := 0
+		sink := netsim.HandlerFunc(func(p *netsim.Packet) {
+			delivered++
+			pool.Put(p)
+		})
+		port := netsim.NewPort(sched, netsim.NewDropTail(64),
+			netsim.NewLink(1_000_000_000, sim.Microsecond, sink))
+		port.Pool = pool
+
+		sent := 0
+		var feed func()
+		feed = func() {
+			// 12 packets per 100 µs of 1000 B ≈ 960 Mbps offered on a
+			// 1 Gbps link, plus bursts: most forward, some drop.
+			for j := 0; j < 12 && sent < total; j++ {
+				p := pool.Get()
+				p.Size = 1000
+				sent++
+				port.Handle(p)
+			}
+			if sent < total {
+				sched.After(100*sim.Microsecond, feed)
+			}
+		}
+		sched.After(0, feed)
+		sched.Run()
+		if uint64(total) != port.Forwarded+port.Dropped {
+			b.Fatalf("sent %d, forwarded %d + dropped %d", total, port.Forwarded, port.Dropped)
+		}
+		if delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
+// BenchmarkREDDropPath isolates the RED decision arithmetic (EWMA update,
+// uniformized drop probability, idle aging) at an operating point inside
+// the [minTh, maxTh) probabilistic band, where the math is hottest.
+func BenchmarkREDDropPath(b *testing.B) {
+	b.ReportAllocs()
+	const offered = 200000
+	for i := 0; i < b.N; i++ {
+		rng := sim.NewRand(int64(i + 1))
+		q := netsim.NewRED(netsim.REDConfig{
+			Limit: 64, MinTh: 8, MaxTh: 32, MaxP: 0.1,
+			PacketsPerSecond: 12500,
+		}, rng)
+		pool := netsim.NewPacketPool()
+		drops := 0
+		now := 0.0
+		for k := 0; k < offered; k++ {
+			p := pool.Get()
+			p.Size = 1000
+			if !q.EnqueueAt(p, now) {
+				drops++
+				pool.Put(p)
+			}
+			// Drain slower than we offer so the average sits in the band.
+			if k%3 != 0 {
+				if d := q.Dequeue(); d != nil {
+					pool.Put(d)
+				}
+			}
+			now += 80e-6
+		}
+		if drops == 0 {
+			b.Fatal("RED never dropped at overload")
+		}
+	}
+}
+
+// BenchmarkDumbbellSecond runs one simulated second of a loaded dumbbell —
+// 8 TCP flows into a 50 Mbps bottleneck — end to end: transports, nodes,
+// ports, queues and scheduler together, the world every figure scales up.
+func BenchmarkDumbbellSecond(b *testing.B) {
+	b.ReportAllocs()
+	delays := make([]sim.Duration, 8)
+	for i := range delays {
+		delays[i] = sim.Duration(5+5*i) * sim.Millisecond
+	}
+	for i := 0; i < b.N; i++ {
+		sched := sim.NewScheduler()
+		pool := netsim.NewPacketPool()
+		d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
+			BottleneckRate: 50_000_000,
+			AccessRate:     1_000_000_000,
+			AccessDelays:   delays,
+			Buffer:         64,
+		})
+		d.AttachPool(pool)
+		for j := range delays {
+			f := tcp.NewPairFlow(sched, d.SenderNode(j), d.ReceiverNode(j), j+1, tcp.Config{
+				InitialRTT: 2 * delays[j],
+				Pool:       pool,
+			})
+			f.Sender.Start()
+		}
+		sched.RunUntil(sim.Time(sim.Second))
+		if d.Forward.Forwarded == 0 {
+			b.Fatal("bottleneck forwarded nothing")
+		}
+		b.ReportMetric(float64(sched.Fired()), "events")
+	}
+}

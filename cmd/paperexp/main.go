@@ -48,10 +48,14 @@ func main() {
 }
 
 // artifact is one paper table/figure: a name and a renderer writing the
-// text series to w.
+// text series to w. Renderers report how many simulated events their
+// worlds executed (sim.Scheduler.Fired, summed over replications), so the
+// runner can print per-artifact events/sec without the bench suite;
+// artifacts with no simulated world (Table 1, the Eq. 1/2 model) report 0
+// and get no throughput line.
 type artifact struct {
 	name string
-	fn   func(w io.Writer) error
+	fn   func(w io.Writer) (uint64, error)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -126,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	e := &executor{seed: *seed, quick: *quick, ascii: *ascii, reps: *reps, workers: *workers}
 	var arts []artifact
-	add := func(cond bool, name string, fn func(io.Writer) error) {
+	add := func(cond bool, name string, fn func(io.Writer) (uint64, error)) {
 		if cond {
 			arts = append(arts, artifact{name, fn})
 		}
@@ -143,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	add(*all || *xtrace, "Future work: TCP-trace methodology", e.tcptrace)
 	for _, name := range scenarioNames {
 		sc, _ := topo.Lookup(name)
-		add(true, "Scenario: "+sc.Name, func(w io.Writer) error { return e.scenario(w, sc) })
+		add(true, "Scenario: "+sc.Name, func(w io.Writer) (uint64, error) { return e.scenario(w, sc) })
 	}
 
 	if len(arts) == 0 {
@@ -158,13 +162,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range arts {
 			fmt.Fprintf(stdout, "==== %s ====\n", a.name)
 			start := time.Now()
-			if err := a.fn(stdout); err != nil {
+			events, err := a.fn(stdout)
+			if err != nil {
 				fmt.Fprintf(stderr, "paperexp: %s: %v\n", a.name, err)
 				code = 1
 				continue
 			}
-			fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", a.name,
-				time.Since(start).Round(time.Millisecond))
+			elapsed := time.Since(start)
+			fmt.Fprintf(stdout, "---- %s done in %v%s ----\n\n", a.name,
+				elapsed.Round(time.Millisecond), rateSuffix(events, elapsed))
 		}
 		return code
 	}
@@ -175,15 +181,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	type rendered struct {
 		out     bytes.Buffer
 		elapsed time.Duration
+		events  uint64
 	}
 	results := exp.Sweep(exp.Options{Seed: *seed, Workers: *workers}, arts,
 		func(r exp.Run[artifact]) (*rendered, error) {
 			var rd rendered
 			start := time.Now()
-			if err := r.Config.fn(&rd.out); err != nil {
+			events, err := r.Config.fn(&rd.out)
+			if err != nil {
 				return nil, fmt.Errorf("%s: %w", r.Config.name, err)
 			}
-			rd.elapsed = time.Since(start).Round(time.Millisecond)
+			rd.elapsed = time.Since(start)
+			rd.events = events
 			return &rd, nil
 		})
 	code := 0
@@ -195,9 +204,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "==== %s ====\n", arts[i].name)
 		stdout.Write(r.Value.out.Bytes())
-		fmt.Fprintf(stdout, "---- %s done in %v ----\n\n", arts[i].name, r.Value.elapsed)
+		fmt.Fprintf(stdout, "---- %s done in %v%s ----\n\n", arts[i].name,
+			r.Value.elapsed.Round(time.Millisecond), rateSuffix(r.Value.events, r.Value.elapsed))
 	}
 	return code
+}
+
+// rateSuffix renders an artifact's simulated-event throughput: the number
+// of scheduler events its worlds executed and the wall-clock rate, the
+// sweep-throughput visibility the bench suite otherwise provides.
+func rateSuffix(events uint64, elapsed time.Duration) string {
+	if events == 0 || elapsed <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%d simulated events, %.2fM events/s)",
+		events, float64(events)/elapsed.Seconds()/1e6)
 }
 
 type executor struct {
@@ -222,8 +243,8 @@ func (e *executor) dur(full, quick sim.Duration) sim.Duration {
 	return full
 }
 
-func (e *executor) table1(w io.Writer) error {
-	return core.WriteSites(w, planetlab.Sites())
+func (e *executor) table1(w io.Writer) (uint64, error) {
+	return 0, core.WriteSites(w, planetlab.Sites())
 }
 
 // writeScenario renders one loss-PDF scenario result, or — when -reps asks
@@ -269,10 +290,10 @@ func (e *executor) replications() int {
 
 // scenario renders one registered topology scenario: its catalog line,
 // then the same loss-PDF report the dumbbell figures produce.
-func (e *executor) scenario(w io.Writer, sc topo.Scenario) error {
+func (e *executor) scenario(w io.Writer, sc topo.Scenario) (uint64, error) {
 	if _, err := fmt.Fprintf(w, "# %s: %s\n# topology: %s\n",
 		sc.Name, sc.Description, sc.Topology); err != nil {
-		return err
+		return 0, err
 	}
 	sweep, err := core.SweepScenario(sc.Name, topo.ScenarioConfig{
 		Seed:     e.seed,
@@ -280,35 +301,35 @@ func (e *executor) scenario(w io.Writer, sc topo.Scenario) error {
 		Warmup:   e.dur(10*sim.Second, 3*sim.Second),
 	}, e.sweepOpts())
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return e.writeScenario(w, sweep)
+	return sweep.Events, e.writeScenario(w, sweep)
 }
 
-func (e *executor) figure2(w io.Writer) error {
+func (e *executor) figure2(w io.Writer) (uint64, error) {
 	sweep, err := core.SweepFigure2(core.Fig2Config{
 		Seed:     e.seed,
 		Flows:    16,
 		Duration: e.dur(120*sim.Second, 30*sim.Second),
 	}, e.sweepOpts())
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return e.writeScenario(w, sweep)
+	return sweep.Events, e.writeScenario(w, sweep)
 }
 
-func (e *executor) figure3(w io.Writer) error {
+func (e *executor) figure3(w io.Writer) (uint64, error) {
 	sweep, err := core.SweepFigure3(core.Fig3Config{
 		Seed:     e.seed,
 		Duration: e.dur(120*sim.Second, 30*sim.Second),
 	}, e.sweepOpts())
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return e.writeScenario(w, sweep)
+	return sweep.Events, e.writeScenario(w, sweep)
 }
 
-func (e *executor) figure4(w io.Writer) error {
+func (e *executor) figure4(w io.Writer) (uint64, error) {
 	res, err := core.RunFigure4(core.Fig4Config{
 		Seed:     e.seed,
 		Paths:    ifQuick(e.quick, 12, 60),
@@ -316,63 +337,63 @@ func (e *executor) figure4(w io.Writer) error {
 		Workers:  e.workers,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Fprintf(w, "# paths: measured=%d validated=%d analyzed=%d losses=%d\n",
 		res.PathsMeasured, res.PathsValidated, res.PathsAnalyzed, res.TotalLosses)
 	if e.ascii {
-		return core.WriteASCIIPDF(w, res.Report, 25)
+		return res.Events, core.WriteASCIIPDF(w, res.Report, 25)
 	}
-	return core.WritePDF(w, res.Report)
+	return res.Events, core.WritePDF(w, res.Report)
 }
 
-func (e *executor) eq12(w io.Writer) error {
+func (e *executor) eq12(w io.Writer) (uint64, error) {
 	rows := core.VisibilityTable(16, 10, []int{1, 2, 4, 8, 16, 32, 64, 128}, 2000, e.seed)
-	return core.WriteVisibilityTable(w, rows)
+	return 0, core.WriteVisibilityTable(w, rows)
 }
 
-func (e *executor) figure7(w io.Writer) error {
+func (e *executor) figure7(w io.Writer) (uint64, error) {
 	sweep, err := core.SweepFigure7(core.Fig7Config{
 		Seed:     e.seed,
 		Duration: e.dur(40*sim.Second, 20*sim.Second),
 	}, e.sweepOpts())
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := core.WriteFig7(w, sweep.Results[0], sim.Second); err != nil {
-		return err
+		return 0, err
 	}
 	if len(sweep.Results) > 1 {
 		d := sweep.Deficit
 		_, err = fmt.Fprintf(w, "# aggregate reps=%d deficit=%.3f±%.3f\n", d.N, d.Mean, d.CI95)
 	}
-	return err
+	return sweep.Events, err
 }
 
-func (e *executor) figure8(w io.Writer) error {
+func (e *executor) figure8(w io.Writer) (uint64, error) {
 	cfg := core.Fig8Config{Seed: e.seed, Workers: e.workers}
 	if e.quick {
 		cfg.TotalBytes = 8 << 20
 		cfg.Runs = 3
 	}
 	res := core.RunFigure8(cfg)
-	return core.WriteFig8(w, res)
+	return res.Events, core.WriteFig8(w, res)
 }
 
-func (e *executor) tfrc(w io.Writer) error {
+func (e *executor) tfrc(w io.Writer) (uint64, error) {
 	res, err := core.RunTFRCCompetition(core.TFRCCompConfig{
 		Seed:     e.seed,
 		Duration: e.dur(60*sim.Second, 20*sim.Second),
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Fprintf(w, "newreno_bytes=%d tfrc_bytes=%d deficit=%.1f%% tfrc_loss_rate=%.4f\n",
 		res.NewRenoBytes, res.TFRCBytes, 100*res.Deficit, res.TFRCLossRate)
-	return nil
+	return res.Events, nil
 }
 
-func (e *executor) ecn(w io.Writer) error {
+func (e *executor) ecn(w io.Writer) (uint64, error) {
 	fmt.Fprintln(w, "# mode\tcoverage\tepochs\tpkts\tfairness")
 	modes := []core.ECNMode{core.ModeDropTail, core.ModeRedECN, core.ModePersistentECN}
 	results, err := core.RunECNComparison(core.ECNCoverageConfig{
@@ -380,30 +401,32 @@ func (e *executor) ecn(w io.Writer) error {
 		Duration: e.dur(30*sim.Second, 15*sim.Second),
 	}, modes, e.workers)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	var events uint64
 	for _, res := range results {
 		fmt.Fprintf(w, "%v\t%.2f\t%d\t%d\t%.3f\n",
 			res.Mode, res.CoverageFraction, res.Epochs, res.AggregatePkts, res.FairnessIndex)
+		events += res.Events
 	}
-	return nil
+	return events, nil
 }
 
-func (e *executor) tcptrace(w io.Writer) error {
+func (e *executor) tcptrace(w io.Writer) (uint64, error) {
 	res, err := tcptrace.Run(tcptrace.Config{
 		Seed:     e.seed,
 		Flows:    16,
 		Duration: e.dur(60*sim.Second, 20*sim.Second),
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	fmt.Fprintf(w, "true_drops=%d tcp_trace_events=%d\n", res.Drops, res.Retransmissions)
 	fmt.Fprintf(w, "truth:     frac<0.01RTT=%.3f CoV=%.1f\n",
 		res.Truth.FracBelow001, res.Truth.CoV)
 	fmt.Fprintf(w, "tcp-trace: frac<0.01RTT=%.3f CoV=%.1f\n",
 		res.FromTCP.FracBelow001, res.FromTCP.CoV)
-	return nil
+	return res.Events, nil
 }
 
 func ifQuick(quick bool, a, b int) int {

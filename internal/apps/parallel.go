@@ -77,6 +77,9 @@ type ParallelResult struct {
 	CongestionEvents uint64
 	// Timeouts totals RTO events across flows.
 	Timeouts uint64
+	// Events is the number of simulated events the run executed
+	// (Scheduler.Fired), the cost-accounting side of the latency result.
+	Events uint64
 }
 
 // Normalized returns Completion/LowerBound, the Y axis of the paper's
@@ -110,6 +113,8 @@ func RunParallel(cfg ParallelConfig) ParallelResult {
 		AccessDelays:    delays,
 		Buffer:          cfg.Buffer,
 	})
+	pool := netsim.NewPacketPool()
+	d.AttachPool(pool)
 
 	totalPkts := (cfg.TotalBytes + int64(cfg.PktSize) - 1) / int64(cfg.PktSize)
 	perFlow := totalPkts / int64(cfg.Flows)
@@ -126,6 +131,7 @@ func RunParallel(cfg ParallelConfig) ParallelResult {
 			TotalPackets: quota,
 			Paced:        cfg.Paced,
 			InitialRTT:   cfg.RTT,
+			Pool:         pool,
 		})
 	}
 	remaining := cfg.Flows
@@ -146,6 +152,7 @@ func RunParallel(cfg ParallelConfig) ParallelResult {
 		PerFlow:    make([]sim.Duration, cfg.Flows),
 		LowerBound: sim.Duration(float64(cfg.TotalBytes*8)/float64(cfg.BottleneckRate)*float64(sim.Second)) + cfg.RTT,
 		Finished:   true,
+		Events:     sched.Fired(),
 	}
 	for i, f := range flows {
 		if !f.Sender.Done() {
@@ -169,7 +176,15 @@ func RunParallel(cfg ParallelConfig) ParallelResult {
 // that variance we perturb start times slightly: run k executions with
 // staggered starts and report each normalized latency.
 func Sweep(cfg ParallelConfig, k int) []float64 {
+	vals, _ := SweepEvents(cfg, k)
+	return vals
+}
+
+// SweepEvents is Sweep plus the total simulated-event count across the k
+// runs, for throughput accounting.
+func SweepEvents(cfg ParallelConfig, k int) ([]float64, uint64) {
 	out := make([]float64, 0, k)
+	var events uint64
 	for i := 0; i < k; i++ {
 		c := cfg
 		// Perturb: shift RTT by i·25 µs so queue phase differs run to run,
@@ -177,6 +192,7 @@ func Sweep(cfg ParallelConfig, k int) []float64 {
 		c.RTT += sim.Duration(i) * 25 * sim.Microsecond
 		r := RunParallel(c)
 		out = append(out, r.Normalized())
+		events += r.Events
 	}
-	return out
+	return out, events
 }

@@ -53,6 +53,8 @@ type TFRCCompResult struct {
 	Deficit float64
 	// TFRC loss-event awareness: mean loss event rate reported.
 	TFRCLossRate float64
+	// Events is the number of simulated events the world executed.
+	Events uint64
 }
 
 // RunTFRCCompetition executes the mixed TFRC/TCP experiment.
@@ -76,13 +78,18 @@ func RunTFRCCompetition(cfg TFRCCompConfig) (*TFRCCompResult, error) {
 		AccessDelays:    delays,
 		Buffer:          buffer,
 	})
+	pool := netsim.NewPacketPool()
+	d.AttachPool(pool)
 
-	// TCP NewReno flows on pairs [0,n).
+	// TCP NewReno flows on pairs [0,n). The TFRC pairs allocate plainly
+	// (their equation-paced rate is low); the ports still recycle whatever
+	// they drop, regardless of where a packet was allocated.
 	var tcps []*tcp.Flow
 	for i := 0; i < n; i++ {
 		tcps = append(tcps, tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
 			PktSize:    cfg.PktSize,
 			InitialRTT: cfg.RTT,
+			Pool:       pool,
 		}))
 	}
 	// TFRC flows on pairs [n,2n).
@@ -116,7 +123,7 @@ func RunTFRCCompetition(cfg TFRCCompConfig) (*TFRCCompResult, error) {
 
 	sched.RunUntil(sim.Time(cfg.Duration))
 
-	res := &TFRCCompResult{}
+	res := &TFRCCompResult{Events: sched.Fired()}
 	for _, f := range tcps {
 		res.NewRenoBytes += uint64(f.Receiver.CumAck()) * uint64(cfg.PktSize)
 	}
@@ -205,6 +212,8 @@ type ECNCoverageResult struct {
 	AggregatePkts int64
 	// FairnessIndex is Jain's index over per-flow goodput.
 	FairnessIndex float64
+	// Events is the number of simulated events the world executed.
+	Events uint64
 }
 
 // RunECNCoverage executes one coverage run for the given mode.
@@ -252,6 +261,8 @@ func RunECNCoverage(cfg ECNCoverageConfig, mode ECNMode) (*ECNCoverageResult, er
 		Buffer:          buffer,
 		Queue:           queue,
 	})
+	pool := netsim.NewPacketPool()
+	d.AttachPool(pool)
 
 	// Signal log: (time, flow) of every drop and every mark.
 	type signal struct {
@@ -270,6 +281,7 @@ func RunECNCoverage(cfg ECNCoverageConfig, mode ECNMode) (*ECNCoverageResult, er
 			PktSize:    cfg.PktSize,
 			InitialRTT: cfg.RTT,
 			ECN:        useECN,
+			Pool:       pool,
 		})
 		// Record marks as signals at the receiver (a CE mark reaching the
 		// receiver is the signal delivered to that flow).
@@ -294,7 +306,7 @@ func RunECNCoverage(cfg ECNCoverageConfig, mode ECNMode) (*ECNCoverageResult, er
 	// the distinct flows signaled within one RTT of each burst's start —
 	// the paper's question: does one congestion event inform every flow
 	// within an RTT?
-	res := &ECNCoverageResult{Mode: mode}
+	res := &ECNCoverageResult{Mode: mode, Events: sched.Fired()}
 	gap := cfg.RTT / 2
 	var epochFlows map[int]struct{}
 	var last, epochStart sim.Time

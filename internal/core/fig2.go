@@ -84,6 +84,10 @@ type ScenarioResult struct {
 	MeanRTT sim.Duration     // normalization RTT
 	Bursts  analysis.BurstStats
 	Drops   int
+	// Events is the number of simulated events the world executed
+	// (Scheduler.Fired) — the denominator-free half of the events/sec
+	// throughput cmd/paperexp prints per artifact.
+	Events uint64
 }
 
 // RunFigure2 executes the NS-2-style scenario and analyzes the bottleneck
@@ -124,6 +128,8 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 		Buffer:          buffer,
 		Queue:           queue,
 	})
+	pool := netsim.NewPacketPool()
+	d.AttachPool(pool)
 
 	rec := &trace.Recorder{}
 	warm := sim.Time(cfg.Warmup)
@@ -139,6 +145,7 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 			PktSize:         cfg.PktSize,
 			InitialRTT:      2 * delays[i],
 			InitialSSThresh: float64(buffer),
+			Pool:            pool,
 		})
 	}
 	// Stagger starts to avoid a synthetic global synchronization at t=0.
@@ -146,15 +153,16 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 		f.StartAt(sched, sim.Time(sim.Duration(i)*cfg.StartSpread/sim.Duration(cfg.Flows)))
 	}
 
-	// Noise: two-way on–off UDP, absorbed by the routers' default sinks.
-	d.RightRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
-	d.LeftRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+	// Noise: two-way on–off UDP, absorbed (and recycled) by the routers'
+	// default sinks.
+	d.RightRouter.BindDefault(pool.Sink())
+	d.LeftRouter.BindDefault(pool.Sink())
 	fwdNoise := crosstraffic.NoiseSet(sched, d.Forward, cfg.NoiseFlows/2,
 		cfg.BottleneckRate, cfg.NoiseFraction/2, 100000,
-		netsim.SenderAddr(0), 2, sim.SubSeed(cfg.Seed, 2))
+		netsim.SenderAddr(0), 2, sim.SubSeed(cfg.Seed, 2), pool)
 	revNoise := crosstraffic.NoiseSet(sched, d.Reverse, cfg.NoiseFlows-cfg.NoiseFlows/2,
 		cfg.BottleneckRate, cfg.NoiseFraction/2, 200000,
-		netsim.ReceiverAddr(0), 1, sim.SubSeed(cfg.Seed, 3))
+		netsim.ReceiverAddr(0), 1, sim.SubSeed(cfg.Seed, 3), pool)
 	for _, nz := range fwdNoise {
 		nz.Start()
 	}
@@ -177,5 +185,6 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 		MeanRTT: meanRTT,
 		Bursts:  analysis.SummarizeBursts(rec.Events(), meanRTT/4),
 		Drops:   rec.Len(),
+		Events:  sched.Fired(),
 	}, nil
 }

@@ -109,6 +109,8 @@ func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
 		AccessDelays:    delays,
 		Buffer:          buffer,
 	})
+	pool := netsim.NewPacketPool()
+	d.AttachPool(pool)
 
 	// The Dummynet non-idealities: processing noise on the bottleneck and
 	// a quantizing drop recorder.
@@ -130,22 +132,23 @@ func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
 			PktSize:         cfg.PktSize,
 			InitialRTT:      2 * delays[i],
 			InitialSSThresh: float64(buffer),
+			Pool:            pool,
 		})
 	}
 	for i, f := range flows {
 		f.StartAt(sched, sim.Time(sim.Duration(i)*cfg.StartSpread/sim.Duration(nFlows)))
 	}
 
-	d.RightRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
-	d.LeftRouter.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+	d.RightRouter.BindDefault(pool.Sink())
+	d.LeftRouter.BindDefault(pool.Sink())
 	for _, nz := range crosstraffic.NoiseSet(sched, d.Forward, cfg.NoiseFlows/2,
 		cfg.BottleneckRate, cfg.NoiseFraction/2, 100000,
-		netsim.SenderAddr(0), 2, sim.SubSeed(cfg.Seed, 12)) {
+		netsim.SenderAddr(0), 2, sim.SubSeed(cfg.Seed, 12), pool) {
 		nz.Start()
 	}
 	for _, nz := range crosstraffic.NoiseSet(sched, d.Reverse, cfg.NoiseFlows-cfg.NoiseFlows/2,
 		cfg.BottleneckRate, cfg.NoiseFraction/2, 200000,
-		netsim.ReceiverAddr(0), 1, sim.SubSeed(cfg.Seed, 13)) {
+		netsim.ReceiverAddr(0), 1, sim.SubSeed(cfg.Seed, 13), pool) {
 		nz.Start()
 	}
 
@@ -166,5 +169,6 @@ func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
 		MeanRTT: meanRTT,
 		Bursts:  analysis.SummarizeBursts(rec.Events(), meanRTT/4),
 		Drops:   rec.Len(),
+		Events:  sched.Fired(),
 	}, nil
 }

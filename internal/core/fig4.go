@@ -57,6 +57,9 @@ type Fig4Result struct {
 	PathsValidated int // passed the dual-size validation
 	PathsAnalyzed  int // validated and enough losses
 	TotalLosses    int
+	// Events totals the simulated events across every path world,
+	// including paths the validation later rejected.
+	Events uint64
 }
 
 // pathOutcome is one path's contribution to the campaign, produced inside
@@ -64,6 +67,7 @@ type Fig4Result struct {
 type pathOutcome struct {
 	valid  bool
 	report *analysis.Report // nil when invalid or too few losses
+	events uint64           // simulated events the path world executed
 }
 
 // RunFigure4 executes the campaign. Path selection is sequential (it
@@ -89,7 +93,7 @@ func RunFigure4(cfg Fig4Config) (*Fig4Result, error) {
 				Interval: cfg.ProbeInterval,
 				Duration: cfg.Duration,
 			})
-			out := pathOutcome{valid: m.Valid}
+			out := pathOutcome{valid: m.Valid, events: sched.Fired()}
 			if !m.Valid || len(m.Small.LossSendTimes) < cfg.MinLosses {
 				return out, nil
 			}
@@ -110,6 +114,7 @@ func RunFigure4(cfg Fig4Config) (*Fig4Result, error) {
 	res := &Fig4Result{PathsMeasured: len(outcomes)}
 	var reports []*analysis.Report
 	for _, o := range outcomes {
+		res.Events += o.events
 		if !o.valid {
 			continue
 		}

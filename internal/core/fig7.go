@@ -70,6 +70,9 @@ type Fig7Result struct {
 	// paper's mechanism (rate-based flows detect more loss events).
 	PacedCongestionEvents   uint64
 	NewRenoCongestionEvents uint64
+
+	// Events is the number of simulated events the world executed.
+	Events uint64
 }
 
 // RunFigure7 executes the competition experiment.
@@ -93,6 +96,8 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 		AccessDelays:    delays,
 		Buffer:          buffer,
 	})
+	pool := netsim.NewPacketPool()
+	d.AttachPool(pool)
 
 	pacedSeries := trace.NewThroughputSeries(cfg.Bin)
 	renoSeries := trace.NewThroughputSeries(cfg.Bin)
@@ -103,6 +108,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 			Paced:       paced,
 			PaceQuantum: cfg.PaceQuantum,
 			InitialRTT:  cfg.RTT,
+			Pool:        pool,
 		})
 		f.Receiver.OnData = func(p *netsim.Packet, at sim.Time) {
 			series.Add(at, int64(p.Size)*8)
@@ -129,6 +135,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 	res := &Fig7Result{
 		PacedMbps:   pacedSeries.Mbps(),
 		NewRenoMbps: renoSeries.Mbps(),
+		Events:      sched.Fired(),
 	}
 	for _, f := range paced {
 		res.PacedTotalPkts += f.Receiver.CumAck()

@@ -58,6 +58,8 @@ type Fig8Cell struct {
 	Std   float64
 	Min   float64
 	Max   float64
+	// Events totals the simulated events across the cell's runs.
+	Events uint64
 }
 
 // Fig8Result is the full latency surface, row-major by RTT then flows.
@@ -65,6 +67,8 @@ type Fig8Result struct {
 	Cells      []Fig8Cell
 	FlowCounts []int
 	RTTs       []sim.Duration
+	// Events totals the simulated events across the whole surface.
+	Events uint64
 }
 
 // Cell returns the cell for (rtt, flows), or nil.
@@ -98,7 +102,7 @@ func RunFigure8(cfg Fig8Config) *Fig8Result {
 
 	results := exp.Sweep(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, grid,
 		func(r exp.Run[cellCfg]) (Fig8Cell, error) {
-			vals := apps.Sweep(apps.ParallelConfig{
+			vals, events := apps.SweepEvents(apps.ParallelConfig{
 				TotalBytes:     cfg.TotalBytes,
 				Flows:          r.Config.flows,
 				PktSize:        cfg.PktSize,
@@ -110,6 +114,7 @@ func RunFigure8(cfg Fig8Config) *Fig8Result {
 			return Fig8Cell{
 				RTT: r.Config.rtt, Flows: r.Config.flows,
 				Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max,
+				Events: events,
 			}, nil
 		})
 	// The transfers report trouble through the result, not an error, so a
@@ -120,6 +125,7 @@ func RunFigure8(cfg Fig8Config) *Fig8Result {
 			panic(r.Err)
 		}
 		res.Cells = append(res.Cells, r.Value)
+		res.Events += r.Value.Events
 	}
 	return res
 }

@@ -30,6 +30,7 @@ func RunScenario(name string, cfg topo.ScenarioConfig) (*ScenarioResult, error) 
 		MeanRTT: res.MeanRTT,
 		Bursts:  res.Bursts,
 		Drops:   res.Drops,
+		Events:  res.Events,
 	}, nil
 }
 

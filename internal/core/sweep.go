@@ -52,6 +52,9 @@ type ScenarioSweep struct {
 	Seeds   []int64           // effective seed of each successful replication
 	Skipped []error           // per-replication failures, if any
 	Summary exp.ReportSummary
+	// Events totals the simulated events across the successful
+	// replications.
+	Events uint64
 }
 
 // SweepFigure2 replicates the NS-2 scenario across derived seeds.
@@ -89,6 +92,7 @@ func collectScenarioSweep(base int64, results []exp.Result[*ScenarioResult]) (*S
 		}
 		s.Results = append(s.Results, r.Value)
 		s.Seeds = append(s.Seeds, seed)
+		s.Events += r.Value.Events
 		reports = append(reports, r.Value.Report)
 	}
 	if len(s.Results) == 0 {
@@ -103,6 +107,8 @@ func collectScenarioSweep(base int64, results []exp.Result[*ScenarioResult]) (*S
 type Fig7Sweep struct {
 	Results []*Fig7Result
 	Deficit exp.Estimate
+	// Events totals the simulated events across replications.
+	Events uint64
 }
 
 // SweepFigure7 replicates the pacing-vs-NewReno competition across derived
@@ -120,10 +126,12 @@ func SweepFigure7(cfg Fig7Config, opts SweepOptions) (*Fig7Sweep, error) {
 		return nil, err
 	}
 	deficits := make([]float64, len(vals))
+	var events uint64
 	for i, v := range vals {
 		deficits[i] = v.Deficit
+		events += v.Events
 	}
-	return &Fig7Sweep{Results: vals, Deficit: exp.EstimateOf(deficits)}, nil
+	return &Fig7Sweep{Results: vals, Deficit: exp.EstimateOf(deficits), Events: events}, nil
 }
 
 // RunECNComparison runs the ECN-coverage experiment for each mode

@@ -21,6 +21,10 @@ type OnOffConfig struct {
 	PeakRate int64        // bits/second while on
 	MeanOn   sim.Duration // mean of the exponential on duration
 	MeanOff  sim.Duration // mean of the exponential off duration
+
+	// Pool, when set, supplies the emitted packets; the absorbing sink is
+	// expected to recycle them (netsim.PacketPool.Sink). Nil allocates.
+	Pool *netsim.PacketPool
 }
 
 // AvgRate reports the long-run average rate of the source in bits/second.
@@ -42,11 +46,15 @@ type OnOff struct {
 
 	on       bool
 	interval sim.Duration
-	sendTmr  *sim.Event
-	phaseTmr *sim.Event
+	sendTmr  sim.Timer
+	phaseTmr sim.Timer
 	seq      int64
 	pktID    uint64
 	running  bool
+
+	// Timer callbacks, created once: the send path of 50 noise sources
+	// runs at aggregate packet rate and must not allocate per event.
+	onSendFn, toOnFn, toOffFn func()
 
 	// Sent counts emitted packets.
 	Sent uint64
@@ -67,7 +75,20 @@ func NewOnOff(sched *sim.Scheduler, out netsim.Handler, cfg OnOffConfig, rng *ra
 	if interval <= 0 {
 		interval = sim.Nanosecond
 	}
-	return &OnOff{sched: sched, out: out, cfg: cfg, rng: rng, interval: interval}
+	o := &OnOff{sched: sched, out: out, cfg: cfg, rng: rng, interval: interval}
+	o.onSendFn = func() {
+		o.sendTmr = sim.Timer{}
+		o.emit()
+	}
+	o.toOnFn = func() {
+		o.phaseTmr = sim.Timer{}
+		o.enterOn()
+	}
+	o.toOffFn = func() {
+		o.phaseTmr = sim.Timer{}
+		o.enterOff()
+	}
+	return o
 }
 
 // Start begins the on/off cycle (starting in the off phase so sources with
@@ -83,11 +104,13 @@ func (o *OnOff) Start() {
 // Stop halts the source.
 func (o *OnOff) Stop() {
 	o.running = false
-	for _, e := range []**sim.Event{&o.sendTmr, &o.phaseTmr} {
-		if *e != nil {
-			o.sched.Cancel(*e)
-			*e = nil
-		}
+	if o.sendTmr.Pending() {
+		o.sched.Cancel(o.sendTmr)
+		o.sendTmr = sim.Timer{}
+	}
+	if o.phaseTmr.Pending() {
+		o.sched.Cancel(o.phaseTmr)
+		o.phaseTmr = sim.Timer{}
 	}
 }
 
@@ -97,10 +120,7 @@ func (o *OnOff) enterOn() {
 	}
 	o.on = true
 	d := sim.Exponential(o.rng, o.cfg.MeanOn)
-	o.phaseTmr = o.sched.After(d, func() {
-		o.phaseTmr = nil
-		o.enterOff()
-	})
+	o.phaseTmr = o.sched.After(d, o.toOffFn)
 	o.emit()
 }
 
@@ -109,15 +129,12 @@ func (o *OnOff) enterOff() {
 		return
 	}
 	o.on = false
-	if o.sendTmr != nil {
+	if o.sendTmr.Pending() {
 		o.sched.Cancel(o.sendTmr)
-		o.sendTmr = nil
+		o.sendTmr = sim.Timer{}
 	}
 	d := sim.Exponential(o.rng, o.cfg.MeanOff)
-	o.phaseTmr = o.sched.After(d, func() {
-		o.phaseTmr = nil
-		o.enterOn()
-	})
+	o.phaseTmr = o.sched.After(d, o.toOnFn)
 }
 
 func (o *OnOff) emit() {
@@ -125,31 +142,29 @@ func (o *OnOff) emit() {
 		return
 	}
 	o.pktID++
-	o.out.Handle(&netsim.Packet{
-		ID:       o.pktID,
-		Flow:     o.cfg.Flow,
-		Kind:     netsim.Data,
-		Size:     o.cfg.PktSize,
-		Seq:      o.seq,
-		Src:      o.cfg.Src,
-		Dst:      o.cfg.Dst,
-		SendTime: o.sched.Now(),
-	})
+	p := o.cfg.Pool.Get()
+	p.ID = o.pktID
+	p.Flow = o.cfg.Flow
+	p.Kind = netsim.Data
+	p.Size = o.cfg.PktSize
+	p.Seq = o.seq
+	p.Src = o.cfg.Src
+	p.Dst = o.cfg.Dst
+	p.SendTime = o.sched.Now()
+	o.out.Handle(p)
 	o.seq++
 	o.Sent++
-	o.sendTmr = o.sched.After(o.interval, func() {
-		o.sendTmr = nil
-		o.emit()
-	})
+	o.sendTmr = o.sched.After(o.interval, o.onSendFn)
 }
 
 // NoiseSet builds the paper's standard noise ensemble: n on–off sources
 // whose aggregate average rate is the given fraction of capacity, split
 // evenly, with 50% duty cycle. Flows are numbered flowBase, flowBase+1, …
 // and all send from src to dst addresses (packets are absorbed by the
-// destination node's default handler).
+// destination node's default handler). pool, when non-nil, supplies the
+// packets; pair it with a recycling sink at the destination.
 func NoiseSet(sched *sim.Scheduler, out netsim.Handler, n int, capacity int64,
-	fraction float64, flowBase, src, dst int, seed int64) []*OnOff {
+	fraction float64, flowBase, src, dst int, seed int64, pool *netsim.PacketPool) []*OnOff {
 
 	perFlowAvg := fraction * float64(capacity) / float64(n)
 	peak := int64(2 * perFlowAvg) // 50% duty cycle
@@ -167,6 +182,7 @@ func NoiseSet(sched *sim.Scheduler, out netsim.Handler, n int, capacity int64,
 			PeakRate: peak,
 			MeanOn:   500 * sim.Millisecond,
 			MeanOff:  500 * sim.Millisecond,
+			Pool:     pool,
 		}, rng)
 	}
 	return srcs

@@ -92,7 +92,7 @@ func TestNoiseSetAggregateRate(t *testing.T) {
 	var bits int64
 	out := netsim.HandlerFunc(func(p *netsim.Packet) { bits += int64(p.Size) * 8 })
 	const capacity = 100_000_000
-	set := NoiseSet(s, out, 50, capacity, 0.10, 5000, 1, 2, 42)
+	set := NoiseSet(s, out, 50, capacity, 0.10, 5000, 1, 2, 42, nil)
 	if len(set) != 50 {
 		t.Fatalf("set size %d", len(set))
 	}
@@ -114,7 +114,7 @@ func TestNoiseSetAggregateRate(t *testing.T) {
 func TestNoiseSetDistinctFlows(t *testing.T) {
 	s := sim.NewScheduler()
 	out := netsim.HandlerFunc(func(p *netsim.Packet) {})
-	set := NoiseSet(s, out, 10, 1_000_000, 0.1, 700, 1, 2, 7)
+	set := NoiseSet(s, out, 10, 1_000_000, 0.1, 700, 1, 2, 7, nil)
 	seen := map[int]bool{}
 	for _, o := range set {
 		if seen[o.cfg.Flow] {

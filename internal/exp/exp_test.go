@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -36,6 +37,32 @@ func TestSweepWorkerInvariance(t *testing.T) {
 		got := Sweep(Options{Seed: 42, Workers: w}, configs, stochasticRun)
 		if !reflect.DeepEqual(base, got) {
 			t.Fatalf("workers=%d diverged from sequential run", w)
+		}
+	}
+}
+
+// TestSweepGOMAXPROCSInvariance pins the default worker count's behaviour
+// across processor configurations: Workers=0 means GOMAXPROCS, and CI runs
+// this package under `go test -cpu 1,2,4`, so the same assertion executes
+// with three different default pool sizes. The expected values are
+// computed from the SubSeed contract directly — not from another sweep —
+// so a scheduling-dependent result cannot accidentally agree with itself.
+func TestSweepGOMAXPROCSInvariance(t *testing.T) {
+	t.Parallel()
+	const n = 53
+	res := Replicate(Options{Seed: 1234, Workers: 0}, n, func(i int, seed int64) (float64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return float64(i) + rng.Float64(), nil
+	})
+	if len(res) != n {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, r := range res {
+		seed := sim.SubSeed(1234, int64(i))
+		want := float64(i) + rand.New(rand.NewSource(seed)).Float64()
+		if r.Err != nil || r.Value != want || r.Seed != seed {
+			t.Fatalf("run %d (GOMAXPROCS=%d): got (%v, %v, seed %d), want (%v, seed %d)",
+				i, runtime.GOMAXPROCS(0), r.Value, r.Err, r.Seed, want, seed)
 		}
 	}
 }
@@ -112,6 +139,40 @@ func TestSweepPanicCapture(t *testing.T) {
 	}
 	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "kaboom") {
 		t.Fatalf("panic not captured: %+v", res[1])
+	}
+}
+
+// A panic's error must name the offending run — its index and its seed —
+// so a failed replication in a thousand-run campaign is reproducible
+// without bisecting.
+func TestSweepPanicNamesRunIndexAndSeed(t *testing.T) {
+	t.Parallel()
+	const bad = 3
+	res := Sweep(Options{Seed: 99, Workers: 4}, make([]struct{}, 6), func(r Run[struct{}]) (int, error) {
+		if r.Index == bad {
+			panic("replication exploded")
+		}
+		return r.Index, nil
+	})
+	err := res[bad].Err
+	if err == nil {
+		t.Fatal("panic not captured")
+	}
+	wantSeed := fmt.Sprintf("seed %d", sim.SubSeed(99, bad))
+	for _, want := range []string{fmt.Sprintf("run %d", bad), wantSeed, "replication exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("panic error %q does not name %q", err, want)
+		}
+	}
+	// FirstErr keeps the attribution when the sweep is unwrapped at the
+	// call site.
+	if ferr := FirstErr(res); ferr == nil || !strings.Contains(ferr.Error(), wantSeed) {
+		t.Fatalf("FirstErr lost the seed attribution: %v", ferr)
+	}
+	for i, r := range res {
+		if i != bad && (r.Err != nil || r.Value != i) {
+			t.Fatalf("healthy run %d corrupted: %+v", i, r)
+		}
 	}
 }
 

@@ -37,12 +37,19 @@ func (l *Link) TxTime(size int) sim.Duration {
 // the queue (or are dropped, invoking OnDrop); the port transmits the head
 // packet whenever the link is idle. This is the standard ns-2 queue+link
 // model and is where every loss in the system happens.
+//
+// The per-packet path is allocation-free: the serialization-complete and
+// delivery callbacks are created once in NewPort (the in-flight packet
+// rides through the scheduler as an event argument), and dropped packets
+// are recycled into the world's PacketPool when one is attached.
 type Port struct {
 	Sched *sim.Scheduler
 	Queue Queue
 	Link  *Link
 
-	// OnDrop, if set, observes every packet the queue rejects.
+	// OnDrop, if set, observes every packet the queue rejects. The packet
+	// is recycled after the callback returns (when Pool is set), so
+	// observers must copy what they need rather than retain the pointer.
 	OnDrop DropFunc
 
 	// ProcNoise, if set, returns a per-packet processing delay added before
@@ -50,7 +57,17 @@ type Port struct {
 	// non-ideal packet processing time of a software router.
 	ProcNoise func() sim.Duration
 
-	busy bool
+	// Pool, if set, receives dropped packets for reuse. The port only
+	// frees packets it terminates (drops); delivered packets are owned by
+	// whoever consumes them downstream.
+	Pool *PacketPool
+
+	busy  bool
+	txPkt *Packet // packet currently serializing
+
+	red     *RED      // cached type assertion of Queue
+	txDone  func()    // serialization-complete callback, created once
+	deliver func(any) // propagation-complete callback, created once
 
 	// Counters for experiment bookkeeping.
 	Forwarded uint64
@@ -63,15 +80,19 @@ func NewPort(sched *sim.Scheduler, q Queue, l *Link) *Port {
 	if sched == nil || q == nil || l == nil {
 		panic("netsim: NewPort requires scheduler, queue and link")
 	}
-	return &Port{Sched: sched, Queue: q, Link: l}
+	p := &Port{Sched: sched, Queue: q, Link: l}
+	p.red, _ = q.(*RED)
+	p.txDone = p.onTxDone
+	p.deliver = func(a any) { p.Link.Dst.Handle(a.(*Packet)) }
+	return p
 }
 
 // Handle implements Handler: offer the packet to the queue and kick the
 // transmitter.
 func (p *Port) Handle(pkt *Packet) {
 	ok := false
-	if red, isRED := p.Queue.(*RED); isRED {
-		ok = red.EnqueueAt(pkt, p.Sched.Now().Seconds())
+	if p.red != nil {
+		ok = p.red.EnqueueAt(pkt, p.Sched.Now().Seconds())
 	} else {
 		ok = p.Queue.Enqueue(pkt)
 	}
@@ -80,6 +101,7 @@ func (p *Port) Handle(pkt *Packet) {
 		if p.OnDrop != nil {
 			p.OnDrop(pkt, p.Sched.Now())
 		}
+		p.Pool.Put(pkt)
 		return
 	}
 	if !p.busy {
@@ -93,10 +115,8 @@ func (p *Port) transmitNext() {
 		p.busy = false
 		return
 	}
-	if p.Queue.Len() == 0 {
-		if red, isRED := p.Queue.(*RED); isRED {
-			red.NoteEmptyAt(p.Sched.Now().Seconds())
-		}
+	if p.Queue.Len() == 0 && p.red != nil {
+		p.red.NoteEmptyAt(p.Sched.Now().Seconds())
 	}
 	p.busy = true
 	tx := p.Link.TxTime(pkt.Size)
@@ -108,12 +128,15 @@ func (p *Port) transmitNext() {
 	// The packet leaves the port after serialization; it arrives at the
 	// destination a propagation delay later. The port is free to start the
 	// next packet as soon as serialization completes.
-	p.Sched.After(tx, func() {
-		delay := p.Link.Delay
-		dst := p.Link.Dst
-		p.Sched.After(delay, func() { dst.Handle(pkt) })
-		p.transmitNext()
-	})
+	p.txPkt = pkt
+	p.Sched.After(tx, p.txDone)
+}
+
+func (p *Port) onTxDone() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.Sched.AfterArg(p.Link.Delay, p.deliver, pkt)
+	p.transmitNext()
 }
 
 // QueueLen reports the instantaneous queue length in packets.

@@ -73,8 +73,64 @@ type TFRCFeedback struct {
 	LossRate  float64 // loss event rate p
 }
 
+// PacketPool is a per-world packet freelist. Senders Get packets instead
+// of allocating, and the component that terminates a packet's life — the
+// receiving transport, a sink, or the port that drops it — Puts it back.
+//
+// Ownership rules (documented for every implementor):
+//
+//   - A packet belongs to exactly one component at a time; handing it to a
+//     Handler transfers ownership.
+//   - Only the final consumer recycles: a Handler that forwards the packet
+//     must not Put it, and observers (OnDrop, OnData, trace wrappers) must
+//     copy fields rather than retain the pointer, because the packet may
+//     be reused as soon as the observing callback returns.
+//   - Pools are per world, not global and not sync.Pool: a simulated world
+//     is single-goroutine by contract, so an unsynchronized freelist is
+//     race-free, allocation order stays deterministic, and no packet can
+//     migrate between concurrently running replications.
+//
+// A nil *PacketPool is valid everywhere one is accepted: Get falls back to
+// plain allocation and Put discards, so worlds that do not care about
+// allocation pressure need no wiring.
+type PacketPool struct {
+	free []*Packet
+}
+
+// NewPacketPool returns an empty pool.
+func NewPacketPool() *PacketPool { return &PacketPool{} }
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pl *PacketPool) Get() *Packet {
+	if pl == nil || len(pl.free) == 0 {
+		return &Packet{}
+	}
+	n := len(pl.free) - 1
+	p := pl.free[n]
+	pl.free[n] = nil
+	pl.free = pl.free[:n]
+	*p = Packet{}
+	return p
+}
+
+// Put recycles a dead packet. Putting nil (or into a nil pool) is a no-op.
+func (pl *PacketPool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// Sink returns a Handler that absorbs and recycles every packet delivered
+// to it — the pool-aware replacement for a discard-everything closure,
+// used for cross-traffic sinks.
+func (pl *PacketPool) Sink() Handler {
+	return HandlerFunc(func(p *Packet) { pl.Put(p) })
+}
+
 // Handler consumes packets. Links deliver to Handlers; transports and nodes
-// implement it.
+// implement it. Delivery transfers ownership of the packet: the final
+// consumer may recycle it into a PacketPool (see PacketPool's rules).
 type Handler interface {
 	Handle(pkt *Packet)
 }

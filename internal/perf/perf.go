@@ -1,0 +1,405 @@
+// Package perf is the benchmark-trajectory subsystem: it parses `go test
+// -bench` output into a schema'd snapshot (ns/op, B/op, allocs/op and the
+// custom metrics the root bench suite reports, like frac001 and cov),
+// serializes snapshots as the BENCH_<n>.json files at the repository root,
+// and diffs two snapshots with per-benchmark tolerances so CI can fail on
+// performance regressions. The tools/benchjson command is the CLI face of
+// this package; tools/docscheck validates the checked-in snapshots against
+// the schema.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the snapshot layout. Bump it when a field
+// changes meaning; readers reject snapshots from another schema rather
+// than misinterpreting them.
+const SchemaVersion = "repro/bench-trajectory/v1"
+
+// Snapshot is one recorded run of the benchmark suite.
+type Snapshot struct {
+	// Schema is always SchemaVersion on snapshots this package writes.
+	Schema string `json:"schema"`
+	// Label names the snapshot's role in the trajectory ("0", "1",
+	// "baseline", "ci", ...). Informational.
+	Label string `json:"label,omitempty"`
+	// GoOS/GoArch/CPU/Pkg echo the `go test -bench` header lines; ns/op
+	// comparisons across different CPUs are noise, and recording the
+	// hardware makes that visible in the file itself.
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Benchmarks holds one entry per benchmark line, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (the suffix goes to Procs), so the same benchmark matches across
+	// machines with different core counts.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 when the line had none.
+	Procs int `json:"procs,omitempty"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline wall-clock cost.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present only when the run used
+	// -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric values (frac001, cov, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// NsTolerancePct and AllocsTolerancePct, when set on a *baseline*
+	// snapshot, override the diff defaults for this benchmark. ns/op
+	// needs generous per-benchmark headroom when baseline and candidate
+	// run on different hardware; allocs/op is machine-independent and
+	// stays strict.
+	NsTolerancePct     *float64 `json:"ns_tolerance_pct,omitempty"`
+	AllocsTolerancePct *float64 `json:"allocs_tolerance_pct,omitempty"`
+}
+
+// Lookup finds a benchmark by (suffix-stripped) name.
+func (s *Snapshot) Lookup(name string) *Benchmark {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == name {
+			return &s.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+	procSuffix = regexp.MustCompile(`-(\d+)$`)
+	headerLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu):\s*(.*)$`)
+)
+
+// Parse reads `go test -bench` text output into a Snapshot. Lines that are
+// not benchmark results or header lines (PASS, ok, warnings) are ignored.
+// It is an error for the input to contain no benchmark lines at all: an
+// empty snapshot almost always means the bench run itself failed.
+func Parse(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{Schema: SchemaVersion}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if m := headerLine.FindStringSubmatch(line); m != nil {
+			switch m[1] {
+			case "goos":
+				s.GoOS = m[2]
+			case "goarch":
+				s.GoArch = m[2]
+			case "pkg":
+				s.Pkg = m[2]
+			case "cpu":
+				s.CPU = m[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b, err := parseBenchmark(m[1], m[2], m[3])
+		if err != nil {
+			return nil, fmt.Errorf("perf: %w (line %q)", err, line)
+		}
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: reading bench output: %w", err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perf: no benchmark result lines found")
+	}
+	return s, nil
+}
+
+// parseBenchmark decodes one result line's name, iteration count and
+// "value unit" pairs.
+func parseBenchmark(name, iters, rest string) (Benchmark, error) {
+	b := Benchmark{Name: name, Procs: 1}
+	if m := procSuffix.FindStringSubmatch(name); m != nil {
+		b.Name = strings.TrimSuffix(name, m[0])
+		b.Procs, _ = strconv.Atoi(m[1])
+	}
+	n, err := strconv.ParseInt(iters, 10, 64)
+	if err != nil {
+		return b, fmt.Errorf("bad iteration count %q", iters)
+	}
+	b.Iterations = n
+
+	fields := strings.Fields(rest)
+	if len(fields)%2 != 0 {
+		return b, fmt.Errorf("odd value/unit pairing in %q", rest)
+	}
+	sawNs := false
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return b, fmt.Errorf("bad value %q", fields[i])
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		case "MB/s":
+			// Derived from ns/op; not recorded separately.
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	if !sawNs {
+		return b, fmt.Errorf("no ns/op value")
+	}
+	return b, nil
+}
+
+// Marshal serializes a snapshot in the canonical form the BENCH files are
+// checked in as: indented JSON with a trailing newline, so snapshots diff
+// cleanly in review.
+func Marshal(s *Snapshot) ([]byte, error) {
+	if s.Schema == "" {
+		s.Schema = SchemaVersion
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("perf: encode snapshot: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile serializes a snapshot to path via Marshal.
+func WriteFile(path string, s *Snapshot) error {
+	data, err := Marshal(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads and validates a snapshot written by WriteFile.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Validate checks the invariants every stored snapshot must satisfy.
+func (s *Snapshot) Validate() error {
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", s.Schema, SchemaVersion)
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("snapshot holds no benchmarks")
+	}
+	seen := map[string]bool{}
+	for _, b := range s.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark with empty name")
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("benchmark %q: non-positive ns/op %v", b.Name, b.NsPerOp)
+		}
+	}
+	return nil
+}
+
+// DiffOptions sets the default gate tolerances; per-benchmark fields on
+// the baseline snapshot override them. Zero values mean exactly that —
+// any increase fails — so callers wanting the CI gate's 20% ns/op
+// contract say so explicitly (tools/benchjson's -ns-tol flag defaults
+// to 20).
+type DiffOptions struct {
+	// NsTolerancePct is the allowed ns/op growth in percent.
+	NsTolerancePct float64
+	// AllocsTolerancePct is the allowed allocs/op growth in percent.
+	// Allocation counts are deterministic enough to hold near-exactly,
+	// and they are the machine-independent half of the gate.
+	AllocsTolerancePct float64
+}
+
+// Delta compares one benchmark between two snapshots.
+type Delta struct {
+	Name string
+	// NsPct / AllocsPct are the relative changes in percent; negative is
+	// an improvement. AllocsPct is NaN-free: it is 0 when either side
+	// lacks -benchmem data.
+	NsPct     float64
+	AllocsPct float64
+	// Regressed marks a tolerance violation; Reason says which.
+	Regressed bool
+	Reason    string
+
+	BaseNs, CurNs         float64
+	BaseAllocs, CurAllocs *float64
+}
+
+// DiffReport is the outcome of comparing a candidate snapshot against a
+// baseline.
+type DiffReport struct {
+	Deltas []Delta
+	// Missing lists baseline benchmarks absent from the candidate — a
+	// gate failure, otherwise deleting a slow benchmark would pass.
+	Missing []string
+	// Added lists candidate benchmarks the baseline does not know.
+	// Informational: a new benchmark enters the gate when the baseline
+	// is refreshed.
+	Added []string
+}
+
+// Regressed reports whether the diff violates the gate.
+func (r *DiffReport) Regressed() bool {
+	if len(r.Missing) > 0 {
+		return true
+	}
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Diff compares cur against base benchmark by benchmark.
+func Diff(base, cur *Snapshot, opts DiffOptions) *DiffReport {
+	rep := &DiffReport{}
+	for _, bb := range base.Benchmarks {
+		cb := cur.Lookup(bb.Name)
+		if cb == nil {
+			rep.Missing = append(rep.Missing, bb.Name)
+			continue
+		}
+		d := Delta{
+			Name:   bb.Name,
+			BaseNs: bb.NsPerOp, CurNs: cb.NsPerOp,
+			BaseAllocs: bb.AllocsPerOp, CurAllocs: cb.AllocsPerOp,
+			NsPct: pctChange(bb.NsPerOp, cb.NsPerOp),
+		}
+		nsTol := opts.NsTolerancePct
+		if bb.NsTolerancePct != nil {
+			nsTol = *bb.NsTolerancePct
+		}
+		if d.NsPct > nsTol {
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("ns/op +%.1f%% exceeds %.0f%% tolerance", d.NsPct, nsTol)
+		}
+		if bb.AllocsPerOp != nil && cb.AllocsPerOp != nil {
+			baseA, curA := *bb.AllocsPerOp, *cb.AllocsPerOp
+			allocTol := opts.AllocsTolerancePct
+			if bb.AllocsTolerancePct != nil {
+				allocTol = *bb.AllocsTolerancePct
+			}
+			var reason string
+			if baseA == 0 && curA > 0 {
+				// A percentage tolerance is meaningless against a
+				// zero-alloc baseline: any growth from zero is a
+				// regression, which is the steady state the engine's
+				// benchmarks defend.
+				d.AllocsPct = math.Inf(1)
+				reason = fmt.Sprintf("allocs/op grew from 0 to %.0f", curA)
+			} else {
+				d.AllocsPct = pctChange(baseA, curA)
+				if d.AllocsPct > allocTol {
+					reason = fmt.Sprintf("allocs/op +%.2f%% exceeds %.2f%% tolerance", d.AllocsPct, allocTol)
+				}
+			}
+			if reason != "" {
+				d.Regressed = true
+				if d.Reason != "" {
+					d.Reason += "; " + reason
+				} else {
+					d.Reason = reason
+				}
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	baseNames := map[string]bool{}
+	for _, bb := range base.Benchmarks {
+		baseNames[bb.Name] = true
+	}
+	for _, cb := range cur.Benchmarks {
+		if !baseNames[cb.Name] {
+			rep.Added = append(rep.Added, cb.Name)
+		}
+	}
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	return rep
+}
+
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// Format writes the diff as an aligned human-readable table.
+func (r *DiffReport) Format(w io.Writer) error {
+	for _, d := range r.Deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED: " + d.Reason
+		}
+		allocs := ""
+		if d.BaseAllocs != nil && d.CurAllocs != nil {
+			allocs = fmt.Sprintf("  allocs/op %.0f -> %.0f (%+.2f%%)",
+				*d.BaseAllocs, *d.CurAllocs, d.AllocsPct)
+		}
+		if _, err := fmt.Fprintf(w, "%-36s ns/op %.0f -> %.0f (%+.1f%%)%s  [%s]\n",
+			d.Name, d.BaseNs, d.CurNs, d.NsPct, allocs, status); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Missing {
+		if _, err := fmt.Fprintf(w, "%-36s MISSING from candidate snapshot\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.Added {
+		if _, err := fmt.Fprintf(w, "%-36s new (not in baseline; refresh baseline to gate it)\n", name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

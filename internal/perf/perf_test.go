@@ -1,0 +1,225 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure2-8      	       1	1762027960 ns/op	        52.42 cov	         0.9953 frac001	391240592 B/op	 9156587 allocs/op
+BenchmarkSchedulerThroughput  	       2	   5554156 ns/op	 4800128 B/op	  100005 allocs/op
+BenchmarkEq12Table              	       1	   7153140 ns/op	         4.681 visibility_ratio_m8
+PASS
+ok  	repro	29.489s
+`
+
+func parseSample(t *testing.T) *Snapshot {
+	t.Helper()
+	s, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	t.Parallel()
+	s := parseSample(t)
+	if s.GoOS != "linux" || s.GoArch != "amd64" || s.Pkg != "repro" || !strings.Contains(s.CPU, "Xeon") {
+		t.Fatalf("header not captured: %+v", s)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+
+	fig2 := s.Lookup("BenchmarkFigure2")
+	if fig2 == nil {
+		t.Fatal("suffix-stripped name not found")
+	}
+	if fig2.Procs != 8 || fig2.Iterations != 1 || fig2.NsPerOp != 1762027960 {
+		t.Fatalf("fig2 = %+v", fig2)
+	}
+	if fig2.Metrics["cov"] != 52.42 || fig2.Metrics["frac001"] != 0.9953 {
+		t.Fatalf("custom metrics = %v", fig2.Metrics)
+	}
+	if fig2.BytesPerOp == nil || *fig2.BytesPerOp != 391240592 ||
+		fig2.AllocsPerOp == nil || *fig2.AllocsPerOp != 9156587 {
+		t.Fatalf("benchmem fields = %v %v", fig2.BytesPerOp, fig2.AllocsPerOp)
+	}
+
+	sched := s.Lookup("BenchmarkSchedulerThroughput")
+	if sched == nil || sched.Procs != 1 {
+		t.Fatalf("no-suffix benchmark = %+v", sched)
+	}
+
+	eq := s.Lookup("BenchmarkEq12Table")
+	if eq == nil || eq.AllocsPerOp != nil || eq.BytesPerOp != nil {
+		t.Fatalf("benchmem fields invented: %+v", eq)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("parsed snapshot invalid: %v", err)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	t.Parallel()
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	t.Parallel()
+	s := parseSample(t)
+	s.Label = "test"
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "test" || len(got.Benchmarks) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Lookup("BenchmarkFigure2").Metrics["cov"] != 52.42 {
+		t.Fatal("metrics lost in round trip")
+	}
+}
+
+func TestValidateRejectsBadSnapshots(t *testing.T) {
+	t.Parallel()
+	cases := map[string]*Snapshot{
+		"wrong schema": {Schema: "other/v9", Benchmarks: []Benchmark{{Name: "B", NsPerOp: 1}}},
+		"no benches":   {Schema: SchemaVersion},
+		"dup name": {Schema: SchemaVersion, Benchmarks: []Benchmark{
+			{Name: "B", NsPerOp: 1}, {Name: "B", NsPerOp: 2}}},
+		"zero ns": {Schema: SchemaVersion, Benchmarks: []Benchmark{{Name: "B"}}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestDiffTolerances(t *testing.T) {
+	t.Parallel()
+	base := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "Steady", NsPerOp: 1000, AllocsPerOp: fp(100)},
+		{Name: "Slower", NsPerOp: 1000, AllocsPerOp: fp(100)},
+		{Name: "Leaky", NsPerOp: 1000, AllocsPerOp: fp(100)},
+		{Name: "Loose", NsPerOp: 1000, NsTolerancePct: fp(300)},
+		{Name: "Gone", NsPerOp: 1000},
+	}}
+	cur := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "Steady", NsPerOp: 1100, AllocsPerOp: fp(100)}, // +10% ns: within 20%
+		{Name: "Slower", NsPerOp: 1300, AllocsPerOp: fp(100)}, // +30% ns: fails
+		{Name: "Leaky", NsPerOp: 900, AllocsPerOp: fp(101)},   // any alloc increase fails
+		{Name: "Loose", NsPerOp: 3500},                        // +250% but 300% override
+		{Name: "Fresh", NsPerOp: 5},                           // new: informational
+	}}
+	rep := Diff(base, cur, DiffOptions{NsTolerancePct: 20})
+	if !rep.Regressed() {
+		t.Fatal("regressions not detected")
+	}
+	byName := map[string]Delta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if byName["Steady"].Regressed {
+		t.Fatalf("within-tolerance run flagged: %+v", byName["Steady"])
+	}
+	if d := byName["Slower"]; !d.Regressed || !strings.Contains(d.Reason, "ns/op") {
+		t.Fatalf("ns regression missed: %+v", d)
+	}
+	if d := byName["Leaky"]; !d.Regressed || !strings.Contains(d.Reason, "allocs/op") {
+		t.Fatalf("alloc regression missed: %+v", d)
+	}
+	if byName["Loose"].Regressed {
+		t.Fatalf("per-benchmark ns override ignored: %+v", byName["Loose"])
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "Gone" {
+		t.Fatalf("missing = %v", rep.Missing)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "Fresh" {
+		t.Fatalf("added = %v", rep.Added)
+	}
+
+	var sb strings.Builder
+	if err := rep.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSED", "MISSING", "Fresh"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted diff lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffMissingOnlyStillRegresses(t *testing.T) {
+	t.Parallel()
+	base := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{{Name: "A", NsPerOp: 1}}}
+	cur := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{{Name: "B", NsPerOp: 1}}}
+	if rep := Diff(base, cur, DiffOptions{}); !rep.Regressed() {
+		t.Fatal("dropping a gated benchmark must fail the gate")
+	}
+}
+
+// A zero-alloc baseline is the steady state the engine defends; any
+// growth from it must fail the gate even though a percentage change from
+// zero is undefined.
+func TestDiffZeroAllocBaselineRegresses(t *testing.T) {
+	t.Parallel()
+	base := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "Clean", NsPerOp: 1000, AllocsPerOp: fp(0), AllocsTolerancePct: fp(5)},
+	}}
+	cur := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "Clean", NsPerOp: 1000, AllocsPerOp: fp(500)},
+	}}
+	rep := Diff(base, cur, DiffOptions{NsTolerancePct: 20})
+	if !rep.Regressed() || !strings.Contains(rep.Deltas[0].Reason, "grew from 0") {
+		t.Fatalf("zero-baseline alloc growth not flagged: %+v", rep.Deltas[0])
+	}
+	// Staying at zero is fine.
+	cur.Benchmarks[0].AllocsPerOp = fp(0)
+	if rep := Diff(base, cur, DiffOptions{NsTolerancePct: 20}); rep.Regressed() {
+		t.Fatalf("zero-to-zero flagged: %+v", rep.Deltas[0])
+	}
+}
+
+// An explicit zero ns/op tolerance must be honored, not silently
+// replaced with a default (the default lives in the benchjson flag).
+func TestDiffExplicitZeroNsTolerance(t *testing.T) {
+	t.Parallel()
+	base := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{{Name: "B", NsPerOp: 1000}}}
+	cur := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{{Name: "B", NsPerOp: 1050}}}
+	if rep := Diff(base, cur, DiffOptions{}); !rep.Regressed() {
+		t.Fatal("+5%% ns/op passed a 0%% tolerance")
+	}
+}
+
+func TestDiffAllocTolerance(t *testing.T) {
+	t.Parallel()
+	base := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "Wobbly", NsPerOp: 1000, AllocsPerOp: fp(1000), AllocsTolerancePct: fp(1)},
+	}}
+	cur := &Snapshot{Schema: SchemaVersion, Benchmarks: []Benchmark{
+		{Name: "Wobbly", NsPerOp: 1000, AllocsPerOp: fp(1005)},
+	}}
+	if rep := Diff(base, cur, DiffOptions{}); rep.Regressed() {
+		t.Fatal("alloc increase within per-benchmark tolerance flagged")
+	}
+	cur.Benchmarks[0].AllocsPerOp = fp(1020)
+	if rep := Diff(base, cur, DiffOptions{}); !rep.Regressed() {
+		t.Fatal("alloc increase beyond per-benchmark tolerance passed")
+	}
+}

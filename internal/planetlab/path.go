@@ -144,6 +144,8 @@ type Channel struct {
 	Path   *Path
 	Dst    netsim.Handler
 	OnDrop func(pkt *netsim.Packet, at sim.Time)
+
+	deliver func(any) // created once; probing sends millions of packets
 }
 
 // NewChannel wires a path process between a source and dst.
@@ -151,7 +153,9 @@ func NewChannel(sched *sim.Scheduler, path *Path, dst netsim.Handler) *Channel {
 	if sched == nil || path == nil || dst == nil {
 		panic("planetlab: NewChannel requires scheduler, path and destination")
 	}
-	return &Channel{Sched: sched, Path: path, Dst: dst}
+	c := &Channel{Sched: sched, Path: path, Dst: dst}
+	c.deliver = func(a any) { c.Dst.Handle(a.(*netsim.Packet)) }
+	return c
 }
 
 // Handle implements netsim.Handler.
@@ -163,5 +167,5 @@ func (c *Channel) Handle(pkt *netsim.Packet) {
 		}
 		return
 	}
-	c.Sched.After(c.Path.OneWayDelay(), func() { c.Dst.Handle(pkt) })
+	c.Sched.AfterArg(c.Path.OneWayDelay(), c.deliver, pkt)
 }

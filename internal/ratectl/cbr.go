@@ -32,7 +32,8 @@ type CBR struct {
 	cfg   CBRConfig
 
 	interval sim.Duration
-	timer    *sim.Event
+	timer    sim.Timer
+	emitFn   func() // created once; the probe send path must not allocate
 	stopAt   sim.Time
 	seq      int64
 	pktID    uint64
@@ -54,7 +55,12 @@ func NewCBR(sched *sim.Scheduler, out netsim.Handler, cfg CBRConfig) *CBR {
 	if interval <= 0 {
 		interval = sim.Nanosecond
 	}
-	return &CBR{sched: sched, out: out, cfg: cfg, interval: interval}
+	c := &CBR{sched: sched, out: out, cfg: cfg, interval: interval}
+	c.emitFn = func() {
+		c.timer = sim.Timer{}
+		c.emit()
+	}
+	return c
 }
 
 // Interval reports the inter-packet gap.
@@ -75,10 +81,8 @@ func (c *CBR) Start() {
 // Stop halts emission.
 func (c *CBR) Stop() {
 	c.running = false
-	if c.timer != nil {
-		c.sched.Cancel(c.timer)
-		c.timer = nil
-	}
+	c.sched.Cancel(c.timer)
+	c.timer = sim.Timer{}
 }
 
 // Seq reports the next sequence number to be sent (== packets sent).
@@ -105,8 +109,5 @@ func (c *CBR) emit() {
 	})
 	c.seq++
 	c.Sent++
-	c.timer = c.sched.After(c.interval, func() {
-		c.timer = nil
-		c.emit()
-	})
+	c.timer = c.sched.After(c.interval, c.emitFn)
 }

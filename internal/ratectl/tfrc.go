@@ -59,8 +59,8 @@ type TFRCSender struct {
 	seq     int64
 	pktID   uint64
 	running bool
-	timer   *sim.Event
-	nfTimer *sim.Event // no-feedback timer
+	timer   sim.Timer
+	nfTimer sim.Timer // no-feedback timer
 
 	// Statistics.
 	Sent           uint64
@@ -102,12 +102,10 @@ func (s *TFRCSender) Start() {
 // Stop halts transmission.
 func (s *TFRCSender) Stop() {
 	s.running = false
-	for _, e := range []**sim.Event{&s.timer, &s.nfTimer} {
-		if *e != nil {
-			s.sched.Cancel(*e)
-			*e = nil
-		}
-	}
+	s.sched.Cancel(s.timer)
+	s.timer = sim.Timer{}
+	s.sched.Cancel(s.nfTimer)
+	s.nfTimer = sim.Timer{}
 }
 
 func (s *TFRCSender) emit() {
@@ -133,7 +131,7 @@ func (s *TFRCSender) emit() {
 		gap = sim.Microsecond
 	}
 	s.timer = s.sched.After(gap, func() {
-		s.timer = nil
+		s.timer = sim.Timer{}
 		s.emit()
 	})
 }
@@ -188,11 +186,9 @@ func (s *TFRCSender) Handle(p *netsim.Packet) {
 // armNoFeedback (re)arms the no-feedback timer: absent feedback for 4 RTTs
 // the rate halves (RFC 3448 §4.4, simplified).
 func (s *TFRCSender) armNoFeedback() {
-	if s.nfTimer != nil {
-		s.sched.Cancel(s.nfTimer)
-	}
+	s.sched.Cancel(s.nfTimer)
 	s.nfTimer = s.sched.After(4*s.rtt, func() {
-		s.nfTimer = nil
+		s.nfTimer = sim.Timer{}
 		if !s.running {
 			return
 		}
@@ -220,7 +216,7 @@ type TFRCReceiver struct {
 	expected int64 // next expected sequence
 	rtt      sim.Duration
 	pktID    uint64
-	fbTimer  *sim.Event
+	fbTimer  sim.Timer
 	running  bool
 
 	// Loss-event state: sequence numbers where each loss event started,
@@ -348,7 +344,7 @@ func (r *TFRCReceiver) noteLoss(seq int64) {
 
 func (r *TFRCReceiver) scheduleFeedback() {
 	r.fbTimer = r.sched.After(r.rtt, func() {
-		r.fbTimer = nil
+		r.fbTimer = sim.Timer{}
 		r.sendFeedback()
 		r.scheduleFeedback()
 	})
@@ -383,8 +379,6 @@ func (r *TFRCReceiver) sendFeedback() {
 // Stop halts feedback.
 func (r *TFRCReceiver) Stop() {
 	r.running = false
-	if r.fbTimer != nil {
-		r.sched.Cancel(r.fbTimer)
-		r.fbTimer = nil
-	}
+	r.sched.Cancel(r.fbTimer)
+	r.fbTimer = sim.Timer{}
 }

@@ -1,26 +1,64 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are created by Scheduler.At and
-// Scheduler.After and may be cancelled before they fire. A fired or
-// cancelled Event is inert; cancelling it again is a no-op.
-type Event struct {
-	t        Time
-	seq      uint64 // FIFO tie-break for events at the same instant
-	index    int    // heap index, -1 when not queued
-	fn       func()
-	canceled bool
+// event is the scheduler-owned state behind a Timer handle. Events are
+// recycled through a per-scheduler freelist: the generation counter is
+// bumped every time an event leaves the scheduled state (fire or cancel),
+// which is what makes a stale Timer handle — or a stale heap entry — a
+// detectable no-op instead of a use-after-free. The freelist is per world
+// and needs no synchronization because a Scheduler is confined to one
+// goroutine by contract.
+type event struct {
+	t    Time
+	gen  uint64
+	fn   func()
+	afn  func(any)
+	arg  any
+	next *event // freelist link
 }
 
-// Time reports when the event is (or was) scheduled to fire.
-func (e *Event) Time() Time { return e.t }
+// Timer is a cancelable handle to a scheduled callback. The zero value is
+// inert: Pending reports false and Cancel is a no-op. A Timer stays valid
+// after its event fires or is cancelled — it simply stops matching the
+// recycled event's generation — so callers may keep handles around without
+// lifecycle bookkeeping.
+type Timer struct {
+	e   *event
+	gen uint64
+}
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
+// Pending reports whether the timer's callback is still queued.
+func (tm Timer) Pending() bool { return tm.e != nil && tm.e.gen == tm.gen }
+
+// Time reports when the callback will fire, or 0 when the timer is not
+// pending.
+func (tm Timer) Time() Time {
+	if !tm.Pending() {
+		return 0
+	}
+	return tm.e.t
+}
+
+// entry is one element of the scheduler's event queue: the ordering key
+// (time, then FIFO sequence for simultaneous events) plus the generation
+// snapshot that identifies whether the referenced event is still the one
+// this entry was pushed for. Cancelled events are deleted lazily — the
+// entry stays in the heap as a tombstone until its time comes up and the
+// generation mismatch discards it in O(1).
+type entry struct {
+	t   Time
+	seq uint64
+	gen uint64
+	e   *event
+}
+
+func entryLess(a, b entry) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
 
 // Scheduler is a deterministic discrete-event executor. The zero value is
 // ready to use. Scheduler is not safe for concurrent use: the simulated
@@ -28,12 +66,20 @@ func (e *Event) Canceled() bool { return e.canceled }
 // A Scheduler must stay confined to the goroutine that created it; to use
 // many CPUs, run independent Schedulers in parallel (see internal/exp), one
 // per replication, never one Scheduler across goroutines.
+//
+// The queue is a value-based 4-ary min-heap ordered by (time, insertion
+// sequence): flatter than a binary heap (fewer cache-missing levels per
+// sift) and free of the container/heap interface dispatch. Event structs
+// come from a per-world freelist and fire-or-cancel recycles them, so the
+// steady-state scheduling path performs no allocation.
 type Scheduler struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
+	queue  []entry
+	live   int // scheduled and not cancelled — Pending() in O(1)
 	fired  uint64
 	halted bool
+	free   *event
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -42,69 +88,118 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 // Now reports the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Fired reports how many events have executed so far. Useful for tests and
-// for cost accounting in benchmarks.
+// Fired reports how many events have executed so far. Useful for tests,
+// for cost accounting in benchmarks, and for the simulated-events/sec
+// throughput lines cmd/paperexp prints.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending reports how many events are queued and not cancelled.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.canceled {
-			n++
-		}
+// Pending reports how many events are queued and not cancelled. It is a
+// maintained counter, not a scan: safe to call per event.
+func (s *Scheduler) Pending() int { return s.live }
+
+// alloc takes an event from the freelist, or grows it.
+func (s *Scheduler) alloc() *event {
+	e := s.free
+	if e == nil {
+		return &event{}
 	}
-	return n
+	s.free = e.next
+	e.next = nil
+	return e
+}
+
+// release recycles an event: the generation bump invalidates every Timer
+// handle and heap tombstone pointing at it, and clearing the callback and
+// argument drops their references so freelisted events pin no world state.
+func (s *Scheduler) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	e.next = s.free
+	s.free = e
+}
+
+// schedule queues an event at absolute time t.
+func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	e := s.alloc()
+	e.t = t
+	e.fn = fn
+	e.afn = afn
+	e.arg = arg
+	s.push(entry{t: t, seq: s.seq, gen: e.gen, e: e})
+	s.seq++
+	s.live++
+	return Timer{e: e, gen: e.gen}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // that is always a logic error in a discrete-event model.
-func (s *Scheduler) At(t Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
-	}
-	e := &Event{t: t, seq: s.seq, fn: fn, index: -1}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
-}
+func (s *Scheduler) At(t Time, fn func()) Timer { return s.schedule(t, fn, nil, nil) }
 
 // After schedules fn to run d from now. Negative d panics.
-func (s *Scheduler) After(d Duration, fn func()) *Event {
+func (s *Scheduler) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return s.At(s.now.Add(d), fn)
+	return s.schedule(s.now.Add(d), fn, nil, nil)
 }
 
-// Cancel removes e from the queue if it has not fired. It is safe to call
-// with a nil event.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+// AtArg schedules fn(arg) at absolute time t. Passing the argument through
+// the scheduler lets hot paths reuse one long-lived callback instead of
+// allocating a capturing closure per event (a pointer in an interface does
+// not allocate); netsim's per-packet delivery path relies on this.
+func (s *Scheduler) AtArg(t Time, fn func(any), arg any) Timer {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d from now. Negative d panics.
+func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.schedule(s.now.Add(d), nil, fn, arg)
+}
+
+// Cancel removes the timer's callback from the queue if it has not fired.
+// Cancelling an inert (zero, fired, or already cancelled) timer is a no-op.
+// The removal is lazy — O(1) here, with the orphaned heap entry discarded
+// when it reaches the top — so cancel-heavy workloads (TCP retransmission
+// timers rearm on every ACK) cost no sift-and-fix work.
+func (s *Scheduler) Cancel(tm Timer) {
+	if tm.e == nil || tm.e.gen != tm.gen {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&s.queue, e.index)
+	s.release(tm.e)
+	s.live--
 }
 
 // Halt stops the currently executing Run/RunUntil after the current event
 // returns. Queued events are retained, so the run can be resumed.
 func (s *Scheduler) Halt() { s.halted = true }
 
-// Step executes the single earliest pending event. It reports false when the
-// queue is empty.
+// Step executes the single earliest pending event. It reports false when
+// the queue holds no live events.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
-			continue
+	for len(s.queue) > 0 {
+		en := s.pop()
+		e := en.e
+		if e.gen != en.gen {
+			continue // tombstone of a cancelled event
 		}
-		s.now = e.t
+		fn, afn, arg := e.fn, e.afn, e.arg
+		s.release(e)
+		s.live--
+		s.now = en.t
 		s.fired++
-		e.fn()
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -122,8 +217,8 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(t Time) {
 	s.halted = false
 	for !s.halted {
-		e := s.peek()
-		if e == nil || e.t > t {
+		next, ok := s.peekTime()
+		if !ok || next > t {
 			break
 		}
 		s.Step()
@@ -136,44 +231,67 @@ func (s *Scheduler) RunUntil(t Time) {
 // RunFor runs the simulation for d of simulated time from now.
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
-func (s *Scheduler) peek() *Event {
-	for s.queue.Len() > 0 {
-		e := s.queue[0]
-		if !e.canceled {
-			return e
+// peekTime reports the time of the earliest live event, discarding any
+// tombstones that have reached the top.
+func (s *Scheduler) peekTime() (Time, bool) {
+	for len(s.queue) > 0 {
+		en := s.queue[0]
+		if en.e.gen == en.gen {
+			return en.t, true
 		}
-		heap.Pop(&s.queue)
+		s.pop()
 	}
-	return nil
+	return 0, false
 }
 
-// eventHeap orders events by (time, seq); seq provides stable FIFO order for
-// simultaneous events so runs are reproducible.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// push inserts an entry into the 4-ary heap (sift up).
+func (s *Scheduler) push(en entry) {
+	s.queue = append(s.queue, en)
+	q := s.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// pop removes and returns the minimum entry (sift down).
+func (s *Scheduler) pop() entry {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = entry{} // drop the event reference from the dead slot
+	s.queue = q[:n]
+	if n > 0 {
+		q = s.queue
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if entryLess(q[j], q[best]) {
+					best = j
+				}
+			}
+			if !entryLess(q[best], last) {
+				break
+			}
+			q[i] = q[best]
+			i = best
+		}
+		q[i] = last
+	}
+	return top
 }

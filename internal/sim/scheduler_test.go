@@ -70,23 +70,26 @@ func TestSchedulerCancel(t *testing.T) {
 	s := NewScheduler()
 	fired := false
 	e := s.After(Second, func() { fired = true })
+	if !e.Pending() || e.Time() != Time(Second) {
+		t.Fatalf("timer not pending after schedule: %v %v", e.Pending(), e.Time())
+	}
 	s.Cancel(e)
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Canceled() {
-		t.Fatal("event not marked cancelled")
+	if e.Pending() || e.Time() != 0 {
+		t.Fatal("cancelled timer still pending")
 	}
-	// Cancelling nil and double-cancel must not panic.
-	s.Cancel(nil)
+	// Cancelling a zero timer and double-cancel must not panic.
+	s.Cancel(Timer{})
 	s.Cancel(e)
 }
 
 func TestSchedulerCancelDuringRun(t *testing.T) {
 	s := NewScheduler()
 	var fired []int
-	var e2 *Event
+	var e2 Timer
 	s.After(1*Second, func() {
 		fired = append(fired, 1)
 		s.Cancel(e2)
@@ -96,6 +99,70 @@ func TestSchedulerCancelDuringRun(t *testing.T) {
 	s.Run()
 	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
 		t.Fatalf("fired = %v", fired)
+	}
+}
+
+// A fired timer's handle must become inert: the underlying event is
+// recycled, and cancelling through the stale handle must not touch
+// whatever the recycled event is scheduled for now.
+func TestSchedulerStaleHandleIsInert(t *testing.T) {
+	s := NewScheduler()
+	first := s.After(Second, func() {})
+	s.Run()
+	if first.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	secondRan := false
+	second := s.After(Second, func() { secondRan = true })
+	s.Cancel(first) // stale: must not cancel the recycled event
+	s.Run()
+	if !secondRan {
+		t.Fatal("stale Cancel hit a recycled event")
+	}
+	if second.Pending() {
+		t.Fatal("fired second timer still pending")
+	}
+}
+
+func TestSchedulerAfterArg(t *testing.T) {
+	s := NewScheduler()
+	type payload struct{ n int }
+	var got []int
+	deliver := func(a any) { got = append(got, a.(*payload).n) }
+	s.AfterArg(2*Second, deliver, &payload{2})
+	s.AfterArg(1*Second, deliver, &payload{1})
+	s.AtArg(Time(3*Second), deliver, &payload{3})
+	tm := s.AfterArg(4*Second, deliver, &payload{4})
+	s.Cancel(tm)
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("arg events = %v", got)
+	}
+}
+
+// The steady-state scheduling path must not allocate: events come from the
+// per-world freelist and heap capacity is reused.
+func TestSchedulerSteadyStateAllocFree(t *testing.T) {
+	s := NewScheduler()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 1000 {
+			s.After(Millisecond, tick)
+		}
+	}
+	// Warm up the freelist and the heap capacity.
+	s.After(Millisecond, tick)
+	s.Run()
+
+	allocs := testing.AllocsPerRun(10, func() {
+		n = 0
+		s.After(Millisecond, tick)
+		s.Run()
+	})
+	if allocs > 1 { // tolerance for the testing harness itself
+		t.Fatalf("steady-state run allocated %.1f times per op", allocs)
 	}
 }
 
@@ -120,6 +187,24 @@ func TestSchedulerRunUntil(t *testing.T) {
 	s.Run()
 	if len(fired) != 3 {
 		t.Fatalf("remaining event lost: %v", fired)
+	}
+}
+
+// RunUntil must not stall on cancelled events parked at the heap top.
+func TestSchedulerRunUntilSkipsTombstones(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 10; i++ {
+		e := s.After(Duration(i+1)*Millisecond, func() { t.Fatal("cancelled event fired") })
+		s.Cancel(e)
+	}
+	ran := false
+	s.After(20*Millisecond, func() { ran = true })
+	s.RunUntil(Time(30 * Millisecond))
+	if !ran {
+		t.Fatal("live event behind tombstones not reached")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", s.Pending())
 	}
 }
 
@@ -197,6 +282,8 @@ func TestSchedulerNestedScheduling(t *testing.T) {
 	}
 }
 
+// Pending is a maintained counter: it must track schedule, cancel and fire
+// exactly, including cancels whose tombstones still sit in the heap.
 func TestSchedulerPending(t *testing.T) {
 	s := NewScheduler()
 	e := s.After(Second, func() {})
@@ -207,6 +294,14 @@ func TestSchedulerPending(t *testing.T) {
 	s.Cancel(e)
 	if s.Pending() != 1 {
 		t.Fatalf("pending after cancel = %d", s.Pending())
+	}
+	s.Cancel(e) // double cancel must not decrement again
+	if s.Pending() != 1 {
+		t.Fatalf("pending after double cancel = %d", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after fire = %d", s.Pending())
 	}
 }
 
@@ -237,13 +332,13 @@ func TestSchedulerOrderProperty(t *testing.T) {
 }
 
 // Property: identical seeds yield identical event interleavings even under
-// random cancellation.
+// random cancellation (which exercises the lazy-deletion path heavily).
 func TestSchedulerDeterminism(t *testing.T) {
 	run := func(seed int64) []Time {
 		s := NewScheduler()
 		rng := rand.New(rand.NewSource(seed))
 		var fired []Time
-		var events []*Event
+		var events []Timer
 		for i := 0; i < 100; i++ {
 			e := s.After(Duration(rng.Intn(1000))*Millisecond, func() {
 				fired = append(fired, s.Now())
@@ -264,6 +359,45 @@ func TestSchedulerDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("diverged at %d: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// Heavy churn across many sizes exercises the 4-ary sift paths: every
+// event must fire exactly once, in order, interleaved with cancellations.
+func TestSchedulerChurnProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewScheduler()
+	expected := 0
+	var timers []Timer
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			timers = append(timers, s.After(Duration(rng.Intn(5000))*Microsecond, func() {}))
+		}
+		for i := 0; i < 10; i++ {
+			tm := timers[rng.Intn(len(timers))]
+			if tm.Pending() {
+				s.Cancel(tm)
+			}
+		}
+		live := 0
+		for _, tm := range timers {
+			if tm.Pending() {
+				live++
+			}
+		}
+		if live != s.Pending() {
+			t.Fatalf("round %d: Pending()=%d, live handles=%d", round, s.Pending(), live)
+		}
+		expected += live
+		before := s.Fired()
+		s.Run()
+		if got := int(s.Fired() - before); got != live {
+			t.Fatalf("round %d: fired %d, want %d", round, got, live)
+		}
+		timers = timers[:0]
+	}
+	if int(s.Fired()) != expected {
+		t.Fatalf("cumulative fired = %d, want %d", s.Fired(), expected)
 	}
 }
 

@@ -21,6 +21,7 @@ func NewPairFlow(sched *sim.Scheduler, snd, rcv *netsim.Node, flowID int, cfg Co
 
 	s := NewSender(sched, snd, cfg)
 	r := NewReceiver(sched, rcv, flowID, cfg.Dst, cfg.Src, cfg.AckSize)
+	r.SetPool(cfg.Pool)
 	rcv.Bind(flowID, r)
 	snd.Bind(flowID, s)
 	return &Flow{Sender: s, Receiver: r}

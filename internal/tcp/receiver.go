@@ -24,6 +24,7 @@ type Receiver struct {
 	ceSeen bool // latched CE until echoed (simplified ECE)
 
 	pktID uint64
+	pool  *netsim.PacketPool
 
 	// Statistics.
 	Received   uint64 // data packets that arrived (including duplicates)
@@ -55,7 +56,14 @@ func NewReceiver(sched *sim.Scheduler, out netsim.Handler, flow, src, dst, ackSi
 // CumAck reports the next expected sequence number.
 func (r *Receiver) CumAck() int64 { return r.cumAck }
 
-// Handle implements netsim.Handler for arriving data packets.
+// SetPool attaches the world's packet freelist: consumed data packets are
+// recycled and outgoing ACKs drawn from it. NewPairFlow wires this
+// automatically from Config.Pool.
+func (r *Receiver) SetPool(pool *netsim.PacketPool) { r.pool = pool }
+
+// Handle implements netsim.Handler for arriving data packets. The receiver
+// is the data packet's final consumer: once the ACK is generated the
+// packet is recycled, so OnData observers must copy rather than retain.
 func (r *Receiver) Handle(p *netsim.Packet) {
 	if p.Kind != netsim.Data || p.Flow != r.flow {
 		return
@@ -84,22 +92,22 @@ func (r *Receiver) Handle(p *netsim.Packet) {
 		r.Duplicates++
 	}
 	r.sendAck(p)
+	r.pool.Put(p)
 }
 
 func (r *Receiver) sendAck(data *netsim.Packet) {
 	r.pktID++
-	ack := &netsim.Packet{
-		ID:       r.pktID,
-		Flow:     r.flow,
-		Kind:     netsim.Ack,
-		Size:     r.ack,
-		Seq:      data.Seq,
-		Ack:      r.cumAck,
-		Src:      r.src,
-		Dst:      r.dst,
-		SendTime: r.sched.Now(),
-		CE:       r.ceSeen, // echo congestion experienced
-	}
+	ack := r.pool.Get()
+	ack.ID = r.pktID
+	ack.Flow = r.flow
+	ack.Kind = netsim.Ack
+	ack.Size = r.ack
+	ack.Seq = data.Seq
+	ack.Ack = r.cumAck
+	ack.Src = r.src
+	ack.Dst = r.dst
+	ack.SendTime = r.sched.Now()
+	ack.CE = r.ceSeen // echo congestion experienced
 	if r.ceSeen && r.cumAck > data.Seq {
 		// Mark echoed on an advancing ACK; clear the latch. (Real TCP
 		// clears on CWR; one echo per mark is enough for our sender, which

@@ -76,6 +76,12 @@ type Config struct {
 	// (the parallel-transfer workload); 0 or negative means unlimited.
 	TotalPackets int64
 
+	// Pool, when set, supplies data packets and receives consumed ACKs —
+	// the world's shared packet freelist. The sender and its receiver
+	// normally share one pool (NewPairFlow wires both ends). Nil means
+	// plain allocation.
+	Pool *netsim.PacketPool
+
 	InitialCwnd     float64      // default 2 packets (paper: "two packets every round trip")
 	InitialSSThresh float64      // default 1e9 (effectively unbounded)
 	MaxCwnd         float64      // default 1e9
@@ -141,8 +147,14 @@ type Sender struct {
 	est     rttEstimator
 	backoff int // RTO exponential backoff shift
 
-	rtoTimer  *sim.Event
-	paceTimer *sim.Event
+	rtoTimer  sim.Timer
+	paceTimer sim.Timer
+
+	// Timer callbacks are created once so rearming a timer costs no
+	// closure allocation: the scheduler's event freelist plus these two
+	// function values make the per-ACK RTO restart allocation-free.
+	rtoFn  func()
+	paceFn func()
 
 	timedSeq int64 // sequence currently being timed for RTT, -1 if none
 	timedAt  sim.Time
@@ -188,6 +200,8 @@ func NewSender(sched *sim.Scheduler, out netsim.Handler, cfg Config) *Sender {
 	s.est.MaxRTO = cfg.MaxRTO
 	s.est.InitialRTO = cfg.InitialRTO
 	s.vegasSlow = cfg.Variant == Vegas
+	s.rtoFn = s.onTimeout
+	s.paceFn = s.onPaceTick
 	return s
 }
 
@@ -321,18 +335,20 @@ func (s *Sender) canSendNew() bool {
 // schedulePace arms the pacing timer if it is idle and there is something
 // to send.
 func (s *Sender) schedulePace() {
-	if s.paceTimer != nil || !s.canSendNew() {
+	if s.paceTimer.Pending() || !s.canSendNew() {
 		return
 	}
-	interval := s.paceInterval()
-	s.paceTimer = s.sched.After(interval, func() {
-		s.paceTimer = nil
-		for i := 0; i < s.cfg.PaceQuantum && s.canSendNew(); i++ {
-			s.sendData(s.nextSeq, false)
-			s.nextSeq++
-		}
-		s.schedulePace()
-	})
+	s.paceTimer = s.sched.After(s.paceInterval(), s.paceFn)
+}
+
+// onPaceTick releases one pacing quantum and rearms.
+func (s *Sender) onPaceTick() {
+	s.paceTimer = sim.Timer{}
+	for i := 0; i < s.cfg.PaceQuantum && s.canSendNew(); i++ {
+		s.sendData(s.nextSeq, false)
+		s.nextSeq++
+	}
+	s.schedulePace()
 }
 
 // paceInterval spaces PaceQuantum packets cwnd times per SRTT. During
@@ -364,18 +380,17 @@ func (s *Sender) sendData(seq int64, retrans bool) {
 		s.maxSent = seq + 1
 	}
 	s.pktID++
-	p := &netsim.Packet{
-		ID:       s.pktID,
-		Flow:     s.cfg.Flow,
-		Kind:     netsim.Data,
-		Size:     s.cfg.PktSize,
-		Seq:      seq,
-		Src:      s.cfg.Src,
-		Dst:      s.cfg.Dst,
-		SendTime: s.sched.Now(),
-		Retrans:  retrans,
-		ECT:      s.cfg.ECN,
-	}
+	p := s.cfg.Pool.Get()
+	p.ID = s.pktID
+	p.Flow = s.cfg.Flow
+	p.Kind = netsim.Data
+	p.Size = s.cfg.PktSize
+	p.Seq = seq
+	p.Src = s.cfg.Src
+	p.Dst = s.cfg.Dst
+	p.SendTime = s.sched.Now()
+	p.Retrans = retrans
+	p.ECT = s.cfg.ECN
 	s.Sent++
 	if retrans {
 		s.Retransmits++
@@ -391,30 +406,33 @@ func (s *Sender) sendData(seq int64, retrans bool) {
 
 // armRTO (re)starts the retransmission timer. With restart=true the timer
 // is rescheduled even if already pending (used on new cumulative ACKs).
+// The cancel-and-rearm pair reuses the same scheduler event: Cancel
+// returns it to the world's freelist and After takes it right back, so the
+// per-ACK restart allocates nothing.
 func (s *Sender) armRTO(restart bool) {
-	if s.rtoTimer != nil {
+	if s.rtoTimer.Pending() {
 		if !restart {
 			return
 		}
 		s.sched.Cancel(s.rtoTimer)
-		s.rtoTimer = nil
+		s.rtoTimer = sim.Timer{}
 	}
 	d := s.est.RTO() << s.backoff
 	if s.cfg.MaxRTO > 0 && d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
 	}
-	s.rtoTimer = s.sched.After(d, s.onTimeout)
+	s.rtoTimer = s.sched.After(d, s.rtoFn)
 }
 
 func (s *Sender) stopRTO() {
-	if s.rtoTimer != nil {
+	if s.rtoTimer.Pending() {
 		s.sched.Cancel(s.rtoTimer)
-		s.rtoTimer = nil
+		s.rtoTimer = sim.Timer{}
 	}
 }
 
 func (s *Sender) onTimeout() {
-	s.rtoTimer = nil
+	s.rtoTimer = sim.Timer{}
 	if s.done || s.InFlight() <= 0 {
 		return
 	}
@@ -440,9 +458,14 @@ func (s *Sender) onTimeout() {
 	}
 }
 
-// Handle implements netsim.Handler: process an incoming ACK.
+// Handle implements netsim.Handler: process an incoming ACK. The sender is
+// the ACK's final consumer, so the packet is recycled on return.
 func (s *Sender) Handle(p *netsim.Packet) {
-	if p.Kind != netsim.Ack || p.Flow != s.cfg.Flow || s.done {
+	if p.Kind != netsim.Ack || p.Flow != s.cfg.Flow {
+		return
+	}
+	if s.done {
+		s.cfg.Pool.Put(p)
 		return
 	}
 	s.AcksIn++
@@ -452,6 +475,7 @@ func (s *Sender) Handle(p *netsim.Packet) {
 	case p.Ack == s.cumAck && s.InFlight() > 0:
 		s.onDupAck()
 	}
+	s.cfg.Pool.Put(p)
 }
 
 func (s *Sender) onNewAck(p *netsim.Packet) {
@@ -579,9 +603,9 @@ func (s *Sender) finish() {
 	s.done = true
 	s.CompletedAt = s.sched.Now()
 	s.stopRTO()
-	if s.paceTimer != nil {
+	if s.paceTimer.Pending() {
 		s.sched.Cancel(s.paceTimer)
-		s.paceTimer = nil
+		s.paceTimer = sim.Timer{}
 	}
 	if s.OnComplete != nil {
 		s.OnComplete(s.CompletedAt)

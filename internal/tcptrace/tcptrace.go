@@ -68,6 +68,9 @@ type Result struct {
 	// Drops and Retransmissions count the raw events behind each.
 	Drops           int
 	Retransmissions int
+
+	// Events is the number of simulated events the world executed.
+	Events uint64
 }
 
 // Run executes one comparison: N TCP flows share a DropTail bottleneck;
@@ -148,6 +151,7 @@ func Run(cfg Config) (*Result, error) {
 		FromTCP:         tcpRep,
 		Drops:           truth.Len(),
 		Retransmissions: inferred.Len(),
+		Events:          sched.Fired(),
 	}, nil
 }
 

@@ -232,6 +232,16 @@ func (n *Network) Port(from, to string) *netsim.Port {
 	return p
 }
 
+// AttachPool installs the world's packet freelist on every port, so each
+// hop recycles the packets it drops. The pool must belong to the same
+// world as the network (per-world pools are what keep recycling
+// deterministic and race-free; see netsim.PacketPool).
+func (n *Network) AttachPool(pool *netsim.PacketPool) {
+	for _, e := range n.edges {
+		n.ports[e].Pool = pool
+	}
+}
+
 // Ports lists every directed port with its endpoints, in link declaration
 // order (A→B before B→A) — the deterministic iteration scenarios use to
 // attach drop observers to every hop.

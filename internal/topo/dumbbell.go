@@ -106,6 +106,10 @@ func NewDumbbell(sched *sim.Scheduler, cfg netsim.DumbbellConfig) *Dumbbell {
 	}
 }
 
+// AttachPool installs the world's packet freelist on every port of the
+// dumbbell (see Network.AttachPool).
+func (d *Dumbbell) AttachPool(pool *netsim.PacketPool) { d.Net.AttachPool(pool) }
+
 // NumPairs reports how many endpoint pairs the dumbbell has.
 func (d *Dumbbell) NumPairs() int { return d.Net.NumFlows() }
 

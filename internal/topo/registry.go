@@ -54,6 +54,9 @@ type ScenarioResult struct {
 	Bursts analysis.BurstStats
 	// Drops is the number of recorded losses.
 	Drops int
+	// Events is the number of simulated events the world executed
+	// (sim.Scheduler.Fired), for throughput accounting.
+	Events uint64
 }
 
 // Scenario is one registered topology/workload combination.

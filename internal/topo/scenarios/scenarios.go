@@ -58,10 +58,16 @@ type world struct {
 	sched *sim.Scheduler
 	rec   *trace.Recorder
 	warm  sim.Time
+	pool  *netsim.PacketPool
 }
 
 func newWorld(cfg topo.ScenarioConfig) *world {
-	return &world{sched: sim.NewScheduler(), rec: &trace.Recorder{}, warm: sim.Time(cfg.Warmup)}
+	return &world{
+		sched: sim.NewScheduler(),
+		rec:   &trace.Recorder{},
+		warm:  sim.Time(cfg.Warmup),
+		pool:  netsim.NewPacketPool(),
+	}
 }
 
 // observeDrops records post-warmup losses at the given ports. Ports fire
@@ -93,37 +99,41 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 		MeanRTT: meanRTT,
 		Bursts:  analysis.SummarizeBursts(w.rec.Events(), meanRTT/4),
 		Drops:   w.rec.Len(),
+		Events:  w.sched.Fired(),
 	}, nil
 }
 
-// startFlows wires one TCP flow per declared endpoint pair and staggers
-// the starts over spread to avoid artificial global synchronization.
-func startFlows(net *topo.Network, cfg topo.ScenarioConfig, ssthresh float64, spread sim.Duration) {
+// startFlows wires one TCP flow per declared endpoint pair — sharing the
+// world's packet pool — and staggers the starts over spread to avoid
+// artificial global synchronization.
+func (w *world) startFlows(net *topo.Network, cfg topo.ScenarioConfig, ssthresh float64, spread sim.Duration) {
 	n := net.NumFlows()
 	for i := 0; i < n; i++ {
 		f := tcp.NewPairFlow(net.Sched, net.FlowSender(i), net.FlowReceiver(i), i+1, tcp.Config{
 			PktSize:         cfg.PktSize,
 			InitialRTT:      net.FlowRTT(i),
 			InitialSSThresh: ssthresh,
+			Pool:            w.pool,
 		})
 		f.StartAt(net.Sched, sim.Time(sim.Duration(i)*spread/sim.Duration(n)))
 	}
 }
 
-// absorb installs packet sinks on the named nodes so injected cross
-// traffic addressed to them disappears there.
-func absorb(net *topo.Network, names ...string) {
+// absorb installs recycling packet sinks on the named nodes so injected
+// cross traffic addressed to them disappears there and its packets return
+// to the world's pool.
+func (w *world) absorb(net *topo.Network, names ...string) {
 	for _, name := range names {
-		net.Node(name).BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
+		net.Node(name).BindDefault(w.pool.Sink())
 	}
 }
 
 // noiseInto starts an on–off noise ensemble injecting into port, addressed
 // from srcAddr to the absorbing node dst.
-func noiseInto(net *topo.Network, port *netsim.Port, n int, capacity int64,
+func (w *world) noiseInto(net *topo.Network, port *netsim.Port, n int, capacity int64,
 	fraction float64, flowBase int, srcAddr int, dst string, seed int64) {
 	for _, nz := range crosstraffic.NoiseSet(net.Sched, port, n, capacity,
-		fraction, flowBase, srcAddr, net.Addr(dst), seed) {
+		fraction, flowBase, srcAddr, net.Addr(dst), seed, w.pool) {
 		nz.Start()
 	}
 }
@@ -163,12 +173,13 @@ func runDumbbell(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 		AccessDelays:   delays,
 		Buffer:         buffer,
 	})
+	d.AttachPool(w.pool)
 	w.observeDrops(d.Forward)
-	startFlows(d.Net, cfg, float64(buffer), 2*sim.Second)
+	w.startFlows(d.Net, cfg, float64(buffer), 2*sim.Second)
 
-	absorb(d.Net, "L", "R")
-	noiseInto(d.Net, d.Forward, 25, rate, 0.05, 100000, netsim.SenderAddr(0), "R", sim.SubSeed(cfg.Seed, 2))
-	noiseInto(d.Net, d.Reverse, 25, rate, 0.05, 200000, netsim.ReceiverAddr(0), "L", sim.SubSeed(cfg.Seed, 3))
+	w.absorb(d.Net, "L", "R")
+	w.noiseInto(d.Net, d.Forward, 25, rate, 0.05, 100000, netsim.SenderAddr(0), "R", sim.SubSeed(cfg.Seed, 2))
+	w.noiseInto(d.Net, d.Reverse, 25, rate, 0.05, 200000, netsim.ReceiverAddr(0), "L", sim.SubSeed(cfg.Seed, 3))
 
 	return w.finish("dumbbell", cfg, meanRTT)
 }
@@ -224,12 +235,14 @@ func runParkingLot(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 		return nil, err
 	}
 
+	net.AttachPool(w.pool)
+
 	var hopPorts []*netsim.Port
 	for h := 0; h < hops; h++ {
 		hopPorts = append(hopPorts, net.Port(router(h), router(h+1)))
 	}
 	w.observeDrops(hopPorts...)
-	startFlows(net, cfg, float64(buffer), 2*sim.Second)
+	w.startFlows(net, cfg, float64(buffer), 2*sim.Second)
 
 	// Per-hop cross traffic: each hop's ensemble enters at the hop's head
 	// router and is absorbed one hop downstream, so hop j's noise loads
@@ -238,9 +251,9 @@ func runParkingLot(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 	for h := range routers {
 		routers[h] = router(h)
 	}
-	absorb(net, routers...)
+	w.absorb(net, routers...)
 	for h := 0; h < hops; h++ {
-		noiseInto(net, hopPorts[h], 8, hopRate, 0.25, 100000+1000*h,
+		w.noiseInto(net, hopPorts[h], 8, hopRate, 0.25, 100000+1000*h,
 			net.Addr(router(h)), router(h+1), sim.SubSeed(cfg.Seed, int64(10+h)))
 	}
 
@@ -304,12 +317,13 @@ func runAccessTree(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 		return nil, err
 	}
 
+	net.AttachPool(w.pool)
 	uplink := net.Port("edge", "core")
 	w.observeDrops(uplink)
-	startFlows(net, cfg, float64(buffer), 2*sim.Second)
+	w.startFlows(net, cfg, float64(buffer), 2*sim.Second)
 
-	absorb(net, "edge", "core")
-	noiseInto(net, uplink, 10, uplinkRate, 0.15, 100000,
+	w.absorb(net, "edge", "core")
+	w.noiseInto(net, uplink, 10, uplinkRate, 0.15, 100000,
 		net.Addr("edge"), "core", sim.SubSeed(cfg.Seed, 3))
 
 	return w.finish("access-tree", cfg, net.MeanFlowRTT())
@@ -389,13 +403,14 @@ func runHeteroMesh(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 		return nil, err
 	}
 
+	net.AttachPool(w.pool)
 	west, east := net.Port("B0", "B1"), net.Port("B1", "B2")
 	w.observeDrops(west, east)
-	startFlows(net, cfg, float64(westBuf), 2*sim.Second)
+	w.startFlows(net, cfg, float64(westBuf), 2*sim.Second)
 
-	absorb(net, "B0", "B1", "B2")
-	noiseInto(net, west, 8, westRate, 0.2, 100000, net.Addr("B0"), "B1", sim.SubSeed(cfg.Seed, 3))
-	noiseInto(net, east, 8, eastRate, 0.2, 200000, net.Addr("B1"), "B2", sim.SubSeed(cfg.Seed, 4))
+	w.absorb(net, "B0", "B1", "B2")
+	w.noiseInto(net, west, 8, westRate, 0.2, 100000, net.Addr("B0"), "B1", sim.SubSeed(cfg.Seed, 3))
+	w.noiseInto(net, east, 8, eastRate, 0.2, 200000, net.Addr("B1"), "B2", sim.SubSeed(cfg.Seed, 4))
 
 	return w.finish("hetero-mesh", cfg, net.MeanFlowRTT())
 }

@@ -284,7 +284,7 @@ func runDumbbellWorkload(w dumbbellWorld, nPairs int) []trace.LossEvent {
 	w.left.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
 	w.right.BindDefault(netsim.HandlerFunc(func(p *netsim.Packet) {}))
 	for _, nz := range crosstraffic.NoiseSet(w.sched, w.forward, 4, 5_000_000, 0.2,
-		100000, netsim.SenderAddr(0), 2, 11) {
+		100000, netsim.SenderAddr(0), 2, 11, nil) {
 		nz.Start()
 	}
 	w.sched.RunUntil(sim.Time(8 * sim.Second))

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// schema'd BENCH_<n>.json trajectory snapshots and diffs two snapshots with
+// per-benchmark tolerances. It is the CLI face of internal/perf and the
+// engine of the CI bench-gate job.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem . | go run ./tools/benchjson -out BENCH_1.json -label 1
+//	go run ./tools/benchjson -in bench.txt -out BENCH_ci.json -label ci
+//	go run ./tools/benchjson -diff BENCH_baseline.json BENCH_ci.json
+//
+// In -diff mode the first path is the baseline (whose per-benchmark
+// tolerance fields, if any, override the -ns-tol/-allocs-tol defaults) and
+// the exit status is 1 when any gated benchmark regressed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "-", "bench output to parse (- = stdin)")
+		out       = fs.String("out", "", "snapshot JSON to write (default stdout)")
+		label     = fs.String("label", "", "snapshot label recorded in the file")
+		diff      = fs.Bool("diff", false, "compare two snapshot files: -diff BASELINE CANDIDATE")
+		nsTol     = fs.Float64("ns-tol", 20, "diff: default allowed ns/op growth in percent")
+		allocsTol = fs.Float64("allocs-tol", 0, "diff: default allowed allocs/op growth in percent (0 = any increase fails)")
+		stampNs   = fs.Float64("stamp-ns-tol", 0, "parse: record this per-benchmark ns/op tolerance in the snapshot (baselines compared across machines need headroom)")
+		stampAl   = fs.Float64("stamp-allocs-tol", -1, "parse: record this per-benchmark allocs/op tolerance in the snapshot (-1 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchjson: -diff needs exactly two snapshot paths (baseline, candidate)")
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), perf.DiffOptions{
+			NsTolerancePct:     *nsTol,
+			AllocsTolerancePct: *allocsTol,
+		}, stdout, stderr)
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "benchjson: unexpected arguments %v (did you mean -diff?)\n", fs.Args())
+		return 2
+	}
+
+	src := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	snap, err := perf.Parse(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	snap.Label = *label
+	for i := range snap.Benchmarks {
+		if *stampNs > 0 {
+			v := *stampNs
+			snap.Benchmarks[i].NsTolerancePct = &v
+		}
+		if *stampAl >= 0 {
+			v := *stampAl
+			snap.Benchmarks[i].AllocsTolerancePct = &v
+		}
+	}
+	if *out == "" {
+		data, err := perf.Marshal(snap)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		stdout.Write(data)
+		return 0
+	}
+	if err := perf.WriteFile(*out, snap); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+	return 0
+}
+
+func runDiff(basePath, curPath string, opts perf.DiffOptions, stdout, stderr io.Writer) int {
+	base, err := perf.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: baseline: %v\n", err)
+		return 1
+	}
+	cur, err := perf.ReadFile(curPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: candidate: %v\n", err)
+		return 1
+	}
+	rep := perf.Diff(base, cur, opts)
+	if err := rep.Format(stdout); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if rep.Regressed() {
+		fmt.Fprintf(stderr, "benchjson: performance regression against %s\n", basePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson: no regression against %s\n", basePath)
+	return 0
+}

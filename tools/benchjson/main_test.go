@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+const benchText = `goos: linux
+BenchmarkA 	       2	1000 ns/op	         0.50 frac001	200 B/op	10 allocs/op
+BenchmarkB 	       1	2000 ns/op
+PASS
+`
+
+func TestParseToFileAndStdout(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_t.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-in", in, "-out", out, "-label", "t"},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	snap, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Label != "t" || len(snap.Benchmarks) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	stdout.Reset()
+	if code := run([]string{}, strings.NewReader(benchText), &stdout, &stderr); code != 0 {
+		t.Fatalf("stdin mode exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), perf.SchemaVersion) {
+		t.Fatalf("stdout JSON missing schema: %s", stdout.String())
+	}
+}
+
+func TestStampTolerances(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_baseline.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", out, "-stamp-ns-tol", "150", "-stamp-allocs-tol", "0.5"},
+		strings.NewReader(benchText), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	snap, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range snap.Benchmarks {
+		if b.NsTolerancePct == nil || *b.NsTolerancePct != 150 {
+			t.Fatalf("ns tolerance not stamped on %s: %+v", b.Name, b)
+		}
+		if b.AllocsTolerancePct == nil || *b.AllocsTolerancePct != 0.5 {
+			t.Fatalf("allocs tolerance not stamped on %s: %+v", b.Name, b)
+		}
+	}
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns float64) string {
+		path := filepath.Join(dir, name)
+		snap := &perf.Snapshot{Benchmarks: []perf.Benchmark{{Name: "BenchmarkA", NsPerOp: ns, Iterations: 1}}}
+		if err := perf.WriteFile(path, snap); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 1000)
+	good := write("good.json", 1100)
+	bad := write("bad.json", 1900)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", base, good}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("clean diff exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no regression") {
+		t.Fatalf("stdout = %s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-diff", base, bad}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed diff exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "regression") {
+		t.Fatalf("stderr = %s", stderr.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", "only-one.json"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("one-arg diff exit %d", code)
+	}
+	if code := run([]string{"stray"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("stray arg exit %d", code)
+	}
+	if code := run([]string{"-in", "/does/not/exist"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Fatalf("missing input exit %d", code)
+	}
+}

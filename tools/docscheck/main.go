@@ -2,9 +2,12 @@
 // and fails (exit 1, one line per finding) when
 //
 //   - a Go package has no package doc comment on any of its files
-//     (test-only packages are exempt), or
+//     (test-only packages are exempt),
 //   - a markdown file at the repo root or in examples/ contains an
-//     intra-repository link to a file that does not exist.
+//     intra-repository link to a file that does not exist, or
+//   - a BENCH_*.json benchmark-trajectory snapshot at the repo root does
+//     not validate against the internal/perf schema, or the CI bench-gate
+//     baseline (BENCH_baseline.json) is missing.
 //
 // Run it from the repository root:
 //
@@ -20,12 +23,15 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/perf"
 )
 
 func main() {
 	var problems []string
 	problems = append(problems, checkPackageDocs(".")...)
 	problems = append(problems, checkMarkdownLinks(".")...)
+	problems = append(problems, checkBenchSnapshots(".")...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, "docscheck:", p)
@@ -33,7 +39,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: package docs and markdown links OK")
+	fmt.Println("docscheck: package docs, markdown links and BENCH snapshots OK")
+}
+
+// checkBenchSnapshots validates the benchmark-trajectory files: every
+// BENCH_*.json at the repository root must parse against the perf schema,
+// and the CI bench-gate's baseline must exist (the gate job would
+// otherwise fail much later, on every PR).
+func checkBenchSnapshots(root string) []string {
+	var out []string
+	matches, _ := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	sort.Strings(matches)
+	haveBaseline := false
+	for _, path := range matches {
+		if filepath.Base(path) == "BENCH_baseline.json" {
+			haveBaseline = true
+		}
+		if _, err := perf.ReadFile(path); err != nil {
+			out = append(out, fmt.Sprintf("%s: invalid bench snapshot: %v", path, err))
+		}
+	}
+	if !haveBaseline {
+		out = append(out, "BENCH_baseline.json missing: the CI bench-gate has no baseline to diff against")
+	}
+	return out
 }
 
 // checkPackageDocs requires every non-test package to carry a package doc
