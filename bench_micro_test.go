@@ -3,10 +3,12 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // The micro-benchmarks in this file isolate the simulator's per-packet hot
@@ -124,6 +126,79 @@ func BenchmarkREDDropPath(b *testing.B) {
 		if drops == 0 {
 			b.Fatal("RED never dropped at overload")
 		}
+	}
+}
+
+// syntheticLossTrace builds one bursty loss trace for the analysis
+// benchmarks: clusters of back-to-back drops separated by multi-RTT gaps,
+// the shape every scenario produces. Deterministic, so batch and
+// streaming analyze identical input.
+func syntheticLossTrace(n int) ([]sim.Time, sim.Duration) {
+	const rtt = 50 * sim.Millisecond
+	out := make([]sim.Time, 0, n)
+	var t sim.Time
+	for len(out) < n {
+		t = t.Add(3 * rtt) // inter-burst gap
+		for i := 0; i < 7 && len(out) < n; i++ {
+			t = t.Add(rtt / 100) // sub-RTT clustering
+			out = append(out, t)
+		}
+	}
+	return out, rtt
+}
+
+// BenchmarkAnalyzeBatch measures the seed measurement pipeline: a
+// recorder retains the trace, then the batch Analyze pass materializes
+// intervals, normalized times, sort copies and PMF slices. Its allocs/op
+// is the cost the streaming engine removes.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	b.ReportAllocs()
+	times, rtt := syntheticLossTrace(20000)
+	for i := 0; i < b.N; i++ {
+		rec := &trace.Recorder{}
+		for k, at := range times {
+			rec.Add(trace.LossEvent{At: at, Flow: k % 16, Seq: int64(k)})
+		}
+		rep, err := analysis.AnalyzeTrace(rec, rtt, analysis.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.CoV, "cov")
+	}
+}
+
+// BenchmarkAnalyzeStreaming measures the online pipeline on the identical
+// trace: a sink-mode recorder feeds the analyzer event by event and the
+// scratch (histogram, reservoir, PMF and sort buffers) is reused across
+// iterations exactly as a sweep worker reuses it across replications —
+// the steady state is allocation-free except for the bounded one-time
+// scratch growth.
+func BenchmarkAnalyzeStreaming(b *testing.B) {
+	b.ReportAllocs()
+	times, rtt := syntheticLossTrace(20000)
+	an, err := analysis.NewStreaming(rtt, analysis.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	rec.SetSink(an.Observe, false)
+	run := func() *analysis.Report {
+		if err := an.Reset(rtt, analysis.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		for k, at := range times {
+			rec.Add(trace.LossEvent{At: at, Flow: k % 16, Seq: int64(k)})
+		}
+		rep, err := an.Finalize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	run() // warm the scratch: steady state is what the gate defends
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run().CoV, "cov")
 	}
 }
 

@@ -22,6 +22,8 @@
 //	paperexp -scenario all           # the whole scenario catalog
 //	paperexp -all            # everything, scenario catalog included
 //	paperexp -all -reps 4    # loss-PDF artifacts replicated, with mean ± 95% CI
+//	paperexp -fig 4 -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                         # profile a run for hot-path work
 package main
 
 import (
@@ -31,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reps     = fs.Int("reps", 1, "replications per loss-PDF artifact (adds a mean ± 95% CI aggregate)")
 		seq      = fs.Bool("seq", false, "run artifacts sequentially, streaming output")
 		workers  = fs.Int("workers", 0, "concurrent artifacts (0 = GOMAXPROCS)")
+		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memprof  = fs.String("memprofile", "", "write a pprof heap profile (after GC) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,6 +91,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *reps < 1 {
 		fmt.Fprintf(stderr, "paperexp: -reps must be at least 1, got %d\n", *reps)
 		return 2
+	}
+	// Profiling hooks, so hot-path work on the experiment drivers starts
+	// from a measured profile instead of a guess:
+	//
+	//	paperexp -fig 4 -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+	//	go tool pprof cpu.pprof
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperexp: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "paperexp: -cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		// Validate the path up front so a typo fails before minutes of
+		// simulation, not after.
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperexp: -memprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "paperexp: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	figs := map[int]bool{}
 	if *fig != "" {
@@ -381,16 +424,21 @@ func (e *executor) figure8(w io.Writer) (uint64, error) {
 }
 
 func (e *executor) tfrc(w io.Writer) (uint64, error) {
-	res, err := core.RunTFRCCompetition(core.TFRCCompConfig{
+	sweep, err := core.SweepTFRCCompetition(core.TFRCCompConfig{
 		Seed:     e.seed,
 		Duration: e.dur(60*sim.Second, 20*sim.Second),
-	})
+	}, e.sweepOpts())
 	if err != nil {
 		return 0, err
 	}
+	res := sweep.Results[0]
 	fmt.Fprintf(w, "newreno_bytes=%d tfrc_bytes=%d deficit=%.1f%% tfrc_loss_rate=%.4f\n",
 		res.NewRenoBytes, res.TFRCBytes, 100*res.Deficit, res.TFRCLossRate)
-	return res.Events, nil
+	if len(sweep.Results) > 1 {
+		d := sweep.Deficit
+		fmt.Fprintf(w, "# aggregate reps=%d deficit=%.3f±%.3f\n", d.N, d.Mean, d.CI95)
+	}
+	return sweep.Events, nil
 }
 
 func (e *executor) ecn(w io.Writer) (uint64, error) {

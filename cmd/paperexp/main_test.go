@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -117,6 +119,44 @@ func TestRunScenarioList(t *testing.T) {
 	for _, name := range []string{"dumbbell", "parking-lot", "access-tree", "hetero-mesh"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Fatalf("catalog missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRunWithProfiles exercises the -cpuprofile/-memprofile plumbing: a
+// run with both flags must succeed and leave two non-empty pprof files.
+func TestRunWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fig", "5", "-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestRunProfileBadPath: an unwritable profile path must fail up front
+// with a clear message, before any simulation runs.
+func TestRunProfileBadPath(t *testing.T) {
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-fig", "5", flag, filepath.Join(t.TempDir(), "no", "such", "dir", "p")},
+			&stdout, &stderr)
+		if code != 2 {
+			t.Fatalf("%s bad path: exit %d, want 2", flag, code)
+		}
+		if !strings.Contains(stderr.String(), flag[1:]) {
+			t.Fatalf("%s error not attributed:\n%s", flag, stderr.String())
 		}
 	}
 }

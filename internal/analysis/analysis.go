@@ -24,6 +24,10 @@ type Config struct {
 	// DispersionWindow is the window (in RTT units) for the index of
 	// dispersion (default 1.0).
 	DispersionWindow float64
+	// KSReservoir bounds how many intervals a Streaming analyzer retains
+	// for the KS test (default DefaultKSReservoir). Batch Analyze ignores
+	// it — the batch path holds every interval anyway.
+	KSReservoir int
 }
 
 func (c *Config) fillDefaults() {
@@ -77,6 +81,20 @@ type Report struct {
 	// future-work "more rigorous analysis" of non-Poissonness.
 	KSDistance     float64
 	RejectsPoisson bool
+}
+
+// Clone returns an independent deep copy of the report. A Streaming
+// analyzer's Finalize hands out a report whose slices live in the
+// analyzer's scratch arena; callers that retain the report past the next
+// Reset — sweep drivers keeping per-replication results — clone it first.
+func (r *Report) Clone() *Report {
+	c := *r
+	c.Intervals = append([]float64(nil), r.Intervals...)
+	c.PoissonPMF = append([]float64(nil), r.PoissonPMF...)
+	if r.Hist != nil {
+		c.Hist = r.Hist.Clone()
+	}
+	return &c
 }
 
 // Analyze computes the burstiness report for loss timestamps normalized by

@@ -93,12 +93,21 @@ func (r ParallelResult) Normalized() float64 {
 
 // RunParallel executes one parallel transfer on a fresh dumbbell.
 func RunParallel(cfg ParallelConfig) ParallelResult {
+	return RunParallelIn(cfg, sim.NewScheduler(), netsim.NewPacketPool())
+}
+
+// RunParallelIn is RunParallel on a caller-provided scheduler and packet
+// pool — the scratch-reuse form replication sweeps drive with a
+// per-worker arena, so back-to-back transfers share one event freelist
+// and one packet population. The scheduler is Reset first, which makes a
+// reused world bit-identical to a fresh one.
+func RunParallelIn(cfg ParallelConfig, sched *sim.Scheduler, pool *netsim.PacketPool) ParallelResult {
 	cfg.fillDefaults()
 	if cfg.Flows <= 0 || cfg.TotalBytes <= 0 {
 		panic(fmt.Sprintf("apps: bad parallel config %+v", cfg))
 	}
 
-	sched := sim.NewScheduler()
+	sched.Reset()
 	delays := make([]sim.Duration, cfg.Flows)
 	for i := range delays {
 		// The dumbbell builder gives RTT = 2·access + 2·bottleneck delay;
@@ -113,7 +122,6 @@ func RunParallel(cfg ParallelConfig) ParallelResult {
 		AccessDelays:    delays,
 		Buffer:          cfg.Buffer,
 	})
-	pool := netsim.NewPacketPool()
 	d.AttachPool(pool)
 
 	totalPkts := (cfg.TotalBytes + int64(cfg.PktSize) - 1) / int64(cfg.PktSize)
@@ -183,6 +191,13 @@ func Sweep(cfg ParallelConfig, k int) []float64 {
 // SweepEvents is Sweep plus the total simulated-event count across the k
 // runs, for throughput accounting.
 func SweepEvents(cfg ParallelConfig, k int) ([]float64, uint64) {
+	return SweepEventsIn(cfg, k, sim.NewScheduler(), netsim.NewPacketPool())
+}
+
+// SweepEventsIn is SweepEvents running every perturbed repetition on the
+// same scheduler and pool (see RunParallelIn), so a Figure-8 grid cell
+// reuses its worker's scratch across all its runs.
+func SweepEventsIn(cfg ParallelConfig, k int, sched *sim.Scheduler, pool *netsim.PacketPool) ([]float64, uint64) {
 	out := make([]float64, 0, k)
 	var events uint64
 	for i := 0; i < k; i++ {
@@ -190,7 +205,7 @@ func SweepEvents(cfg ParallelConfig, k int) ([]float64, uint64) {
 		// Perturb: shift RTT by i·25 µs so queue phase differs run to run,
 		// the same role the paper's random run-to-run state plays.
 		c.RTT += sim.Duration(i) * 25 * sim.Microsecond
-		r := RunParallel(c)
+		r := RunParallelIn(c, sched, pool)
 		out = append(out, r.Normalized())
 		events += r.Events
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/ratectl"
 	"repro/internal/sim"
@@ -59,8 +60,17 @@ type TFRCCompResult struct {
 
 // RunTFRCCompetition executes the mixed TFRC/TCP experiment.
 func RunTFRCCompetition(cfg TFRCCompConfig) (*TFRCCompResult, error) {
+	return runTFRCCompetition(cfg, nil)
+}
+
+// runTFRCCompetition is RunTFRCCompetition drawing scheduler and pool
+// from a worker's arena when one is supplied (SweepTFRCCompetition).
+func runTFRCCompetition(cfg TFRCCompConfig, a *exp.Arena) (*TFRCCompResult, error) {
 	cfg.fillDefaults()
 	sched := sim.NewScheduler()
+	if a != nil {
+		sched = a.Scheduler()
+	}
 
 	n := cfg.FlowsPerClass
 	delays := make([]sim.Duration, 2*n)
@@ -79,6 +89,9 @@ func RunTFRCCompetition(cfg TFRCCompConfig) (*TFRCCompResult, error) {
 		Buffer:          buffer,
 	})
 	pool := netsim.NewPacketPool()
+	if a != nil {
+		pool = a.Pool()
+	}
 	d.AttachPool(pool)
 
 	// TCP NewReno flows on pairs [0,n). The TFRC pairs allocate plainly
@@ -218,8 +231,17 @@ type ECNCoverageResult struct {
 
 // RunECNCoverage executes one coverage run for the given mode.
 func RunECNCoverage(cfg ECNCoverageConfig, mode ECNMode) (*ECNCoverageResult, error) {
+	return runECNCoverage(cfg, mode, nil)
+}
+
+// runECNCoverage is RunECNCoverage drawing scheduler and pool from a
+// worker's arena when one is supplied (RunECNComparison).
+func runECNCoverage(cfg ECNCoverageConfig, mode ECNMode, a *exp.Arena) (*ECNCoverageResult, error) {
 	cfg.fillDefaults()
 	sched := sim.NewScheduler()
+	if a != nil {
+		sched = a.Scheduler()
+	}
 	rng := sim.NewRand(sim.SubSeed(cfg.Seed, int64(100+mode)))
 
 	// Spread RTTs ±20% around the nominal so flows are not artificially
@@ -262,6 +284,9 @@ func RunECNCoverage(cfg ECNCoverageConfig, mode ECNMode) (*ECNCoverageResult, er
 		Queue:           queue,
 	})
 	pool := netsim.NewPacketPool()
+	if a != nil {
+		pool = a.Pool()
+	}
 	d.AttachPool(pool)
 
 	// Signal log: (time, flow) of every drop and every mark.

@@ -1,10 +1,9 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/analysis"
 	"repro/internal/crosstraffic"
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -80,7 +79,7 @@ func (c *Fig2Config) fillDefaults() {
 // 3 share it).
 type ScenarioResult struct {
 	Report  *analysis.Report // the inter-loss PDF analysis
-	Trace   *trace.Recorder  // raw drop trace (post-warmup)
+	Trace   *trace.Recorder  // raw drop trace (post-warmup); nil in streaming sweeps
 	MeanRTT sim.Duration     // normalization RTT
 	Bursts  analysis.BurstStats
 	Drops   int
@@ -91,10 +90,21 @@ type ScenarioResult struct {
 }
 
 // RunFigure2 executes the NS-2-style scenario and analyzes the bottleneck
-// drop trace.
+// drop trace. The trace is retained in the result (batch mode); sweeps go
+// through runFigure2 with a per-worker arena and analyze online instead.
 func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
+	return runFigure2(cfg, nil)
+}
+
+// runFigure2 builds and runs one Figure-2 world. With an arena, the
+// scheduler, packet pool and the whole measurement pipeline come from the
+// worker's scratch and losses are analyzed while the world runs.
+func runFigure2(cfg Fig2Config, a *exp.Arena) (*ScenarioResult, error) {
 	cfg.fillDefaults()
 	sched := sim.NewScheduler()
+	if a != nil {
+		sched = a.Scheduler()
+	}
 	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
 
 	delays := netsim.RandomAccessDelays(rng, cfg.Flows, cfg.AccessLow, cfg.AccessHigh)
@@ -129,9 +139,16 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 		Queue:           queue,
 	})
 	pool := netsim.NewPacketPool()
+	if a != nil {
+		pool = a.Pool()
+	}
 	d.AttachPool(pool)
 
-	rec := &trace.Recorder{}
+	m, err := newMeasurement(a, meanRTT)
+	if err != nil {
+		return nil, err
+	}
+	rec := m.rec
 	warm := sim.Time(cfg.Warmup)
 	d.Forward.OnDrop = func(p *netsim.Packet, at sim.Time) {
 		if at >= warm {
@@ -172,19 +189,5 @@ func RunFigure2(cfg Fig2Config) (*ScenarioResult, error) {
 
 	sched.RunUntil(sim.Time(cfg.Duration))
 
-	if rec.Len() < 2 {
-		return nil, fmt.Errorf("core: figure 2 scenario produced %d drops; increase duration or load", rec.Len())
-	}
-	report, err := analysis.AnalyzeTrace(rec, meanRTT, analysis.Config{})
-	if err != nil {
-		return nil, err
-	}
-	return &ScenarioResult{
-		Report:  report,
-		Trace:   rec,
-		MeanRTT: meanRTT,
-		Bursts:  analysis.SummarizeBursts(rec.Events(), meanRTT/4),
-		Drops:   rec.Len(),
-		Events:  sched.Fired(),
-	}, nil
+	return m.finish("figure 2 scenario", meanRTT, sched.Fired())
 }

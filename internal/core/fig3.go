@@ -1,11 +1,9 @@
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/analysis"
 	"repro/internal/crosstraffic"
 	"repro/internal/dummynet"
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -83,8 +81,18 @@ func (c *Fig3Config) fillDefaults() {
 // ScenarioResult's trace holds the quantized timestamps (what the paper's
 // instrumented router logged).
 func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
+	return runFigure3(cfg, nil)
+}
+
+// runFigure3 is RunFigure3 with optional per-worker scratch: with an
+// arena the quantized drop stream feeds the streaming analyzer directly
+// (Quantize is monotone, so the stream stays nondecreasing).
+func runFigure3(cfg Fig3Config, a *exp.Arena) (*ScenarioResult, error) {
 	cfg.fillDefaults()
 	sched := sim.NewScheduler()
+	if a != nil {
+		sched = a.Scheduler()
+	}
 	noiseRng := sim.NewRand(sim.SubSeed(cfg.Seed, 11))
 
 	nFlows := cfg.FlowsPerClass * len(RTTClasses)
@@ -110,12 +118,19 @@ func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
 		Buffer:          buffer,
 	})
 	pool := netsim.NewPacketPool()
+	if a != nil {
+		pool = a.Pool()
+	}
 	d.AttachPool(pool)
 
 	// The Dummynet non-idealities: processing noise on the bottleneck and
 	// a quantizing drop recorder.
 	d.Forward.ProcNoise = netsim.UniformNoise(noiseRng, cfg.ProcNoiseMax)
-	rec := &trace.Recorder{}
+	m, err := newMeasurement(a, meanRTT)
+	if err != nil {
+		return nil, err
+	}
+	rec := m.rec
 	warm := sim.Time(cfg.Warmup)
 	d.Forward.OnDrop = func(p *netsim.Packet, at sim.Time) {
 		if at >= warm {
@@ -156,19 +171,5 @@ func RunFigure3(cfg Fig3Config) (*ScenarioResult, error) {
 
 	// Quantization can reorder equal-tick events only in appearance; the
 	// recorder is still nondecreasing because Quantize is monotone.
-	if rec.Len() < 2 {
-		return nil, fmt.Errorf("core: figure 3 scenario produced %d drops", rec.Len())
-	}
-	report, err := analysis.AnalyzeTrace(rec, meanRTT, analysis.Config{})
-	if err != nil {
-		return nil, err
-	}
-	return &ScenarioResult{
-		Report:  report,
-		Trace:   rec,
-		MeanRTT: meanRTT,
-		Bursts:  analysis.SummarizeBursts(rec.Events(), meanRTT/4),
-		Drops:   rec.Len(),
-		Events:  sched.Fired(),
-	}, nil
+	return m.finish("figure 3 scenario", meanRTT, sched.Fired())
 }

@@ -73,7 +73,11 @@ type pathOutcome struct {
 // RunFigure4 executes the campaign. Path selection is sequential (it
 // consumes one picking rng), but the per-path measurements — each its own
 // simulated world with its own scheduler and rng stream — fan out across
-// the exp worker pool. The aggregate is identical for any worker count.
+// the exp worker pool, each reusing its worker's arena: the probe packets
+// come from the arena's pool (a 5-minute run sends ~300k probes per
+// size), the scheduler's event freelist survives from path to path, and
+// the loss times stream through the arena's analyzer. The aggregate is
+// identical for any worker count.
 func RunFigure4(cfg Fig4Config) (*Fig4Result, error) {
 	cfg.fillDefaults()
 	mesh := planetlab.NewMesh(planetlab.MeshConfig{Seed: cfg.Seed})
@@ -83,27 +87,37 @@ func RunFigure4(cfg Fig4Config) (*Fig4Result, error) {
 
 	// The mesh is immutable after construction, so sharing it across the
 	// workers is safe; every mutable piece of a measurement is created in
-	// the worker.
-	results := exp.Sweep(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, pairs,
-		func(r exp.Run[[2]int]) (pathOutcome, error) {
-			sched := sim.NewScheduler()
+	// the worker or reset out of its arena.
+	results := exp.SweepArena(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, pairs,
+		func(r exp.Run[[2]int], a *exp.Arena) (pathOutcome, error) {
+			sched := a.Scheduler()
 			path := mesh.NewPathProcess(r.Config[0], r.Config[1])
 			m := probe.MeasurePath(sched, path, probe.RunConfig{
 				Flow:     1,
 				Interval: cfg.ProbeInterval,
 				Duration: cfg.Duration,
+				Pool:     a.Pool(),
 			})
 			out := pathOutcome{valid: m.Valid, events: sched.Fired()}
 			if !m.Valid || len(m.Small.LossSendTimes) < cfg.MinLosses {
 				return out, nil
 			}
-			rep, err := analysis.Analyze(m.Small.LossSendTimes, m.Small.PathRTT, analysis.Config{})
+			an, err := a.Analyzer(m.Small.PathRTT, analysis.Config{})
+			if err != nil {
+				return out, err
+			}
+			for _, t := range m.Small.LossSendTimes {
+				an.ObserveTime(t)
+			}
+			rep, err := an.Finalize()
 			if err != nil {
 				// A path without enough analyzable intervals simply does not
 				// contribute, exactly as in the sequential campaign.
 				return out, nil
 			}
-			out.report = rep
+			// Clone: the merge below needs the per-path intervals after the
+			// arena has moved on to the worker's next path.
+			out.report = rep.Clone()
 			return out, nil
 		})
 	outcomes, err := exp.Values(results)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -77,8 +78,18 @@ type Fig7Result struct {
 
 // RunFigure7 executes the competition experiment.
 func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
+	return runFigure7(cfg, nil)
+}
+
+// runFigure7 is RunFigure7 drawing the scheduler and packet pool from a
+// worker's arena when one is supplied (the throughput series stay
+// per-run: they are retained in the result).
+func runFigure7(cfg Fig7Config, a *exp.Arena) (*Fig7Result, error) {
 	cfg.fillDefaults()
 	sched := sim.NewScheduler()
+	if a != nil {
+		sched = a.Scheduler()
+	}
 
 	n := cfg.FlowsPerClass
 	delays := make([]sim.Duration, 2*n)
@@ -97,6 +108,9 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 		Buffer:          buffer,
 	})
 	pool := netsim.NewPacketPool()
+	if a != nil {
+		pool = a.Pool()
+	}
 	d.AttachPool(pool)
 
 	pacedSeries := trace.NewThroughputSeries(cfg.Bin)

@@ -100,16 +100,18 @@ func RunFigure8(cfg Fig8Config) *Fig8Result {
 		}
 	}
 
-	results := exp.Sweep(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, grid,
-		func(r exp.Run[cellCfg]) (Fig8Cell, error) {
-			vals, events := apps.SweepEvents(apps.ParallelConfig{
+	results := exp.SweepArena(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, grid,
+		func(r exp.Run[cellCfg], a *exp.Arena) (Fig8Cell, error) {
+			// Every run of every cell this worker executes reuses one
+			// scheduler freelist and one packet population from the arena.
+			vals, events := apps.SweepEventsIn(apps.ParallelConfig{
 				TotalBytes:     cfg.TotalBytes,
 				Flows:          r.Config.flows,
 				PktSize:        cfg.PktSize,
 				RTT:            r.Config.rtt,
 				BottleneckRate: cfg.BottleneckRate,
 				Paced:          cfg.Paced,
-			}, cfg.Runs)
+			}, cfg.Runs, a.Scheduler(), a.Pool())
 			s := stats.Summarize(vals)
 			return Fig8Cell{
 				RTT: r.Config.rtt, Flows: r.Config.flows,

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/exp"
 	"repro/internal/planetlab"
 	"repro/internal/sim"
 )
@@ -80,8 +82,13 @@ func TestRunFigure2Deterministic(t *testing.T) {
 			t.Fatalf("replication %d nondeterministic: %d/%v vs %d/%v",
 				k, a.Drops, a.MeanRTT, b.Drops, b.MeanRTT)
 		}
-		if !reflect.DeepEqual(a.Trace.Events(), b.Trace.Events()) {
-			t.Fatalf("replication %d trace diverges across worker counts", k)
+		// Streaming sweeps retain no trace; the full report (histogram,
+		// reservoir intervals, burst structure) must agree instead.
+		if a.Trace != nil || b.Trace != nil {
+			t.Fatalf("replication %d retained a trace in streaming mode", k)
+		}
+		if !reflect.DeepEqual(a.Report, b.Report) || a.Bursts != b.Bursts {
+			t.Fatalf("replication %d report diverges across worker counts", k)
 		}
 		// The rendered artifact — what a human or the paper comparison
 		// reads — must be byte-identical too.
@@ -112,8 +119,43 @@ func TestRunFigure2Deterministic(t *testing.T) {
 	}
 	// Replications must differ from each other (independent seeds), or the
 	// sweep would be averaging one run with itself.
-	if reflect.DeepEqual(seq.Results[0].Trace.Events(), seq.Results[1].Trace.Events()) {
+	if reflect.DeepEqual(seq.Results[0].Report, seq.Results[1].Report) {
 		t.Fatal("replications identical; seed derivation broken")
+	}
+}
+
+// TestFigure2StreamingMatchesBatch pins core's own dual-mode measurement
+// (measure.go) the same way the root differential test pins the scenario
+// registry's: one figure world run retained+batch and once streaming on
+// an arena must agree on every statistic, exactly for the integer-derived
+// ones and within float tolerance for the online moments.
+func TestFigure2StreamingMatchesBatch(t *testing.T) {
+	t.Parallel()
+	cfg := Fig2Config{Seed: 3, Flows: 8, Duration: 10 * sim.Second, Warmup: 2 * sim.Second}
+	batch, err := RunFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := runFigure2(cfg, exp.NewArena())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Trace != nil || batch.Trace == nil {
+		t.Fatal("trace retention modes wrong")
+	}
+	if stream.Drops != batch.Drops || stream.Events != batch.Events || stream.Bursts != batch.Bursts {
+		t.Fatalf("world diverged:\nstream %+v\nbatch  %+v", stream, batch)
+	}
+	sr, br := stream.Report, batch.Report
+	if sr.N != br.N || sr.Lambda != br.Lambda || sr.KSDistance != br.KSDistance ||
+		sr.FracBelow001 != br.FracBelow001 || sr.FracBelow1 != br.FracBelow1 {
+		t.Fatalf("exact statistics diverged:\nstream %+v\nbatch  %+v", sr, br)
+	}
+	if diff := math.Abs(sr.CoV - br.CoV); diff > 1e-9*math.Max(1, br.CoV) {
+		t.Fatalf("CoV %v vs %v", sr.CoV, br.CoV)
+	}
+	if diff := math.Abs(sr.IndexOfDispersion - br.IndexOfDispersion); diff > 1e-9*math.Max(1, br.IndexOfDispersion) {
+		t.Fatalf("IoD %v vs %v", sr.IndexOfDispersion, br.IndexOfDispersion)
 	}
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// measurement bundles the loss-measurement pipeline of one figure run. It
+// has two modes, selected by whether the run owns an exp.Arena:
+//
+//   - retain/batch (arena == nil): a fresh recorder stores the full drop
+//     trace and finish analyzes it with the batch pipeline — the mode the
+//     golden-trace and CSV paths rely on, and the default for single runs;
+//   - streaming/sink (arena != nil): the arena's recorder forwards every
+//     drop to the arena's streaming analyzer and burst tracker without
+//     retaining it, and finish just finalizes — the mode replication
+//     sweeps use, allocation-free across runs and with Trace nil in the
+//     result.
+//
+// TestStreamingMatchesBatch pins the two modes to the same Report.
+type measurement struct {
+	rec *trace.Recorder
+	an  *analysis.Streaming
+	bt  *analysis.BurstTracker
+}
+
+// newMeasurement wires the pipeline for one run. meanRTT is the analysis
+// normalization (and meanRTT/4 the burst-clustering gap, as everywhere).
+func newMeasurement(a *exp.Arena, meanRTT sim.Duration) (*measurement, error) {
+	m := &measurement{}
+	if a == nil {
+		m.rec = &trace.Recorder{}
+		return m, nil
+	}
+	an, err := a.Analyzer(meanRTT, analysis.Config{})
+	if err != nil {
+		return nil, err
+	}
+	m.an = an
+	m.bt = a.Bursts(meanRTT / 4)
+	m.rec = a.Recorder()
+	m.rec.SetSink(func(e trace.LossEvent) {
+		an.Observe(e)
+		m.bt.Observe(e)
+	}, false)
+	return m, nil
+}
+
+// finish checks the drop count and produces the scenario result for
+// whichever mode the measurement runs in. figure names the run for the
+// too-few-drops error.
+func (m *measurement) finish(figure string, meanRTT sim.Duration, events uint64) (*ScenarioResult, error) {
+	if m.rec.Len() < 2 {
+		return nil, fmt.Errorf("core: %s produced %d drops; increase duration or load",
+			figure, m.rec.Len())
+	}
+	if m.an != nil {
+		rep, err := m.an.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		return &ScenarioResult{
+			Report:  rep.Clone(), // detach: the arena recycles rep's slices
+			MeanRTT: meanRTT,
+			Bursts:  m.bt.Stats(),
+			Drops:   m.rec.Len(),
+			Events:  events,
+		}, nil
+	}
+	report, err := analysis.AnalyzeTrace(m.rec, meanRTT, analysis.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Report:  report,
+		Trace:   m.rec,
+		MeanRTT: meanRTT,
+		Bursts:  analysis.SummarizeBursts(m.rec.Events(), meanRTT/4),
+		Drops:   m.rec.Len(),
+		Events:  events,
+	}, nil
+}

@@ -12,8 +12,9 @@ import (
 	_ "repro/internal/topo/scenarios"
 )
 
-// RunScenario executes one registered topology scenario by name. An
-// unknown name returns an error listing the available scenarios.
+// RunScenario executes one registered topology scenario by name, in
+// retain/batch mode (the result carries the raw trace). An unknown name
+// returns an error listing the available scenarios.
 func RunScenario(name string, cfg topo.ScenarioConfig) (*ScenarioResult, error) {
 	sc, ok := topo.Lookup(name)
 	if !ok {
@@ -24,6 +25,10 @@ func RunScenario(name string, cfg topo.ScenarioConfig) (*ScenarioResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	return convertScenarioResult(res), nil
+}
+
+func convertScenarioResult(res *topo.ScenarioResult) *ScenarioResult {
 	return &ScenarioResult{
 		Report:  res.Report,
 		Trace:   res.Trace,
@@ -31,24 +36,37 @@ func RunScenario(name string, cfg topo.ScenarioConfig) (*ScenarioResult, error) 
 		Bursts:  res.Bursts,
 		Drops:   res.Drops,
 		Events:  res.Events,
-	}, nil
+	}
 }
 
 // SweepScenario replicates a registered scenario across derived seeds,
 // exactly like SweepFigure2 replicates the NS-2 figure: replication 0
 // replays cfg.Seed, later replications draw SubSeed streams, and the
-// result is bit-identical for any worker count.
+// result is bit-identical for any worker count. Scenarios that implement
+// the streaming entry point (all catalog scenarios do) run on per-worker
+// arenas, analyzing losses online without retaining traces.
 func SweepScenario(name string, cfg topo.ScenarioConfig, opts SweepOptions) (*ScenarioSweep, error) {
-	if _, ok := topo.Lookup(name); !ok {
+	sc, ok := topo.Lookup(name)
+	if !ok {
 		return nil, fmt.Errorf("core: unknown scenario %q (registered: %s)",
 			name, strings.Join(topo.Names(), ", "))
 	}
 	opts.fillDefaults()
-	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
-		opts.Replications, func(i int, seed int64) (*ScenarioResult, error) {
+	results := exp.ReplicateArena(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64, a *exp.Arena) (*ScenarioResult, error) {
 			c := cfg
 			c.Seed = replicationSeed(cfg.Seed, i, seed)
-			return RunScenario(name, c)
+			var res *topo.ScenarioResult
+			var err error
+			if sc.RunIn != nil {
+				res, err = sc.RunIn(c, a)
+			} else {
+				res, err = sc.Run(c)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return convertScenarioResult(res), nil
 		})
 	return collectScenarioSweep(cfg.Seed, results)
 }

@@ -57,26 +57,32 @@ type ScenarioSweep struct {
 	Events uint64
 }
 
-// SweepFigure2 replicates the NS-2 scenario across derived seeds.
+// SweepFigure2 replicates the NS-2 scenario across derived seeds. The
+// replications run in streaming mode on per-worker arenas: losses are
+// analyzed online as the worlds run, scratch (scheduler freelist, packet
+// pool, analyzer buffers) is reused run to run, and the per-replication
+// results carry no raw trace (ScenarioResult.Trace is nil; use RunFigure2
+// when the trace itself is needed).
 func SweepFigure2(cfg Fig2Config, opts SweepOptions) (*ScenarioSweep, error) {
 	opts.fillDefaults()
-	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
-		opts.Replications, func(i int, seed int64) (*ScenarioResult, error) {
+	results := exp.ReplicateArena(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64, a *exp.Arena) (*ScenarioResult, error) {
 			c := cfg
 			c.Seed = replicationSeed(cfg.Seed, i, seed)
-			return RunFigure2(c)
+			return runFigure2(c, a)
 		})
 	return collectScenarioSweep(cfg.Seed, results)
 }
 
-// SweepFigure3 replicates the Dummynet scenario across derived seeds.
+// SweepFigure3 replicates the Dummynet scenario across derived seeds, in
+// the same streaming arena mode as SweepFigure2.
 func SweepFigure3(cfg Fig3Config, opts SweepOptions) (*ScenarioSweep, error) {
 	opts.fillDefaults()
-	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
-		opts.Replications, func(i int, seed int64) (*ScenarioResult, error) {
+	results := exp.ReplicateArena(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64, a *exp.Arena) (*ScenarioResult, error) {
 			c := cfg
 			c.Seed = replicationSeed(cfg.Seed, i, seed)
-			return RunFigure3(c)
+			return runFigure3(c, a)
 		})
 	return collectScenarioSweep(cfg.Seed, results)
 }
@@ -112,14 +118,14 @@ type Fig7Sweep struct {
 }
 
 // SweepFigure7 replicates the pacing-vs-NewReno competition across derived
-// seeds.
+// seeds, reusing each worker's arena across replications.
 func SweepFigure7(cfg Fig7Config, opts SweepOptions) (*Fig7Sweep, error) {
 	opts.fillDefaults()
-	results := exp.Replicate(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
-		opts.Replications, func(i int, seed int64) (*Fig7Result, error) {
+	results := exp.ReplicateArena(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64, a *exp.Arena) (*Fig7Result, error) {
 			c := cfg
 			c.Seed = replicationSeed(cfg.Seed, i, seed)
-			return RunFigure7(c)
+			return runFigure7(c, a)
 		})
 	vals, err := exp.Values(results)
 	if err != nil {
@@ -134,16 +140,47 @@ func SweepFigure7(cfg Fig7Config, opts SweepOptions) (*Fig7Sweep, error) {
 	return &Fig7Sweep{Results: vals, Deficit: exp.EstimateOf(deficits), Events: events}, nil
 }
 
+// TFRCSweep is the outcome of replicated TFRC-competition runs.
+type TFRCSweep struct {
+	Results []*TFRCCompResult
+	Deficit exp.Estimate
+	// Events totals the simulated events across replications.
+	Events uint64
+}
+
+// SweepTFRCCompetition replicates the TFRC-vs-NewReno competition across
+// derived seeds with per-worker arena reuse, mirroring SweepFigure7.
+func SweepTFRCCompetition(cfg TFRCCompConfig, opts SweepOptions) (*TFRCSweep, error) {
+	opts.fillDefaults()
+	results := exp.ReplicateArena(exp.Options{Seed: cfg.Seed, Workers: opts.Workers},
+		opts.Replications, func(i int, seed int64, a *exp.Arena) (*TFRCCompResult, error) {
+			c := cfg
+			c.Seed = replicationSeed(cfg.Seed, i, seed)
+			return runTFRCCompetition(c, a)
+		})
+	vals, err := exp.Values(results)
+	if err != nil {
+		return nil, err
+	}
+	deficits := make([]float64, len(vals))
+	var events uint64
+	for i, v := range vals {
+		deficits[i] = v.Deficit
+		events += v.Events
+	}
+	return &TFRCSweep{Results: vals, Deficit: exp.EstimateOf(deficits), Events: events}, nil
+}
+
 // RunECNComparison runs the ECN-coverage experiment for each mode
-// concurrently (the modes are independent worlds) and returns the results
-// in mode order.
+// concurrently (the modes are independent worlds, each drawing its
+// worker's arena scratch) and returns the results in mode order.
 func RunECNComparison(cfg ECNCoverageConfig, modes []ECNMode, workers int) ([]*ECNCoverageResult, error) {
-	results := exp.Sweep(exp.Options{Seed: cfg.Seed, Workers: workers}, modes,
-		func(r exp.Run[ECNMode]) (*ECNCoverageResult, error) {
+	results := exp.SweepArena(exp.Options{Seed: cfg.Seed, Workers: workers}, modes,
+		func(r exp.Run[ECNMode], a *exp.Arena) (*ECNCoverageResult, error) {
 			// RunECNCoverage derives its own per-mode stream from cfg.Seed,
 			// so the sweep seed is deliberately unused: results stay
 			// identical to sequential RunECNCoverage calls.
-			return RunECNCoverage(cfg, r.Config)
+			return runECNCoverage(cfg, r.Config, a)
 		})
 	return exp.Values(results)
 }

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Arena is the per-worker scratch a sweep threads through its run
+// functions: the reusable pieces of a simulated world and its measurement
+// pipeline that are expensive to reallocate per replication — the
+// scheduler's event freelist, the packet pool's population, the streaming
+// analyzer's histogram/reservoir/PMF buffers, the burst tracker's flow
+// set, and a sink-mode drop recorder.
+//
+// Ownership rules:
+//
+//   - An arena belongs to exactly one sweep worker; SweepArena creates one
+//     per worker goroutine, so nothing in it is (or needs to be) safe for
+//     concurrent use.
+//   - Every accessor resets the piece it returns, so state can never leak
+//     from one replication into the next — which is what keeps arena-run
+//     sweeps bit-identical to fresh-world sweeps for any worker count.
+//   - Anything a run RETAINS past its return (a Report kept in a result
+//     slice, a trace handed to the caller) must be detached first —
+//     analysis.Report.Clone, or a Recorder the run allocated itself —
+//     because the arena recycles its scratch on the next run.
+//
+// All fields are lazy: a worker that never asks for a piece never pays
+// for it, and Sweep's non-arena call path costs one empty struct per
+// worker.
+type Arena struct {
+	sched  *sim.Scheduler
+	pool   *netsim.PacketPool
+	an     *analysis.Streaming
+	bursts *analysis.BurstTracker
+	rec    *trace.Recorder
+}
+
+// NewArena returns an empty arena. Sweeps create arenas themselves; the
+// constructor exists for single-run callers that want the same reuse
+// across hand-rolled loops.
+func NewArena() *Arena { return &Arena{} }
+
+// Scheduler returns the arena's scheduler, reset to the empty time-zero
+// state (the event freelist and queue capacity survive the reset).
+func (a *Arena) Scheduler() *sim.Scheduler {
+	if a.sched == nil {
+		a.sched = sim.NewScheduler()
+	} else {
+		a.sched.Reset()
+	}
+	return a.sched
+}
+
+// Pool returns the arena's packet pool. Pools need no reset: Get zeroes
+// every packet it hands out, so a recycled population from a previous
+// replication is indistinguishable from fresh allocations.
+func (a *Arena) Pool() *netsim.PacketPool {
+	if a.pool == nil {
+		a.pool = netsim.NewPacketPool()
+	}
+	return a.pool
+}
+
+// Recorder returns the arena's drop recorder, reset and with no sink
+// installed. It is meant for sink-mode use inside one run; a run that
+// retains its trace in a result must allocate its own recorder instead.
+func (a *Arena) Recorder() *trace.Recorder {
+	if a.rec == nil {
+		a.rec = &trace.Recorder{}
+	} else {
+		a.rec.Reset()
+	}
+	a.rec.SetSink(nil, true)
+	return a.rec
+}
+
+// Analyzer returns the arena's streaming analyzer, reset for a run with
+// the given RTT and config. The error mirrors analysis.Analyze's RTT
+// validation.
+func (a *Arena) Analyzer(rtt sim.Duration, cfg analysis.Config) (*analysis.Streaming, error) {
+	if a.an == nil {
+		an, err := analysis.NewStreaming(rtt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		a.an = an
+		return an, nil
+	}
+	if err := a.an.Reset(rtt, cfg); err != nil {
+		return nil, err
+	}
+	return a.an, nil
+}
+
+// Bursts returns the arena's burst tracker, reset with the given
+// clustering gap.
+func (a *Arena) Bursts(maxGap sim.Duration) *analysis.BurstTracker {
+	if a.bursts == nil {
+		a.bursts = &analysis.BurstTracker{}
+	}
+	a.bursts.Reset(maxGap)
+	return a.bursts
+}

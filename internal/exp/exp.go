@@ -76,6 +76,23 @@ type Result[R any] struct {
 // returns an error or panics records the failure in its Result slot; the
 // other runs proceed.
 func Sweep[C, R any](opts Options, configs []C, fn func(Run[C]) (R, error)) []Result[R] {
+	return SweepArena(opts, configs, func(r Run[C], _ *Arena) (R, error) {
+		return fn(r)
+	})
+}
+
+// SweepArena is Sweep with per-worker scratch: each worker goroutine owns
+// one Arena, created when the worker starts and handed to every run that
+// worker executes. Replications that route their scheduler, packet pool
+// and analysis scratch through the arena reuse those allocations across
+// the whole sweep instead of rebuilding them per run.
+//
+// The determinism contract is unchanged — every arena accessor resets the
+// state it hands out, so a run on a warm arena is bit-identical to a run
+// on a cold one and results stay invariant under the worker count. The
+// one new rule: values retained in a Result must not point into the
+// arena (see Arena).
+func SweepArena[C, R any](opts Options, configs []C, fn func(Run[C], *Arena) (R, error)) []Result[R] {
 	results := make([]Result[R], len(configs))
 	if len(configs) == 0 {
 		return results
@@ -88,9 +105,10 @@ func Sweep[C, R any](opts Options, configs []C, fn func(Run[C]) (R, error)) []Re
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := NewArena()
 			for i := range jobs {
 				r := Run[C]{Index: i, Seed: sim.SubSeed(opts.Seed, int64(i)), Config: configs[i]}
-				v, err := protect(fn, r)
+				v, err := protect(fn, r, arena)
 				results[i] = Result[R]{Index: i, Seed: r.Seed, Value: v, Err: err}
 			}
 		}()
@@ -105,13 +123,13 @@ func Sweep[C, R any](opts Options, configs []C, fn func(Run[C]) (R, error)) []Re
 
 // protect runs fn, converting a panic into an error so one bad replication
 // cannot take down a whole sweep.
-func protect[C, R any](fn func(Run[C]) (R, error), r Run[C]) (v R, err error) {
+func protect[C, R any](fn func(Run[C], *Arena) (R, error), r Run[C], a *Arena) (v R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("exp: run %d (seed %d) panicked: %v", r.Index, r.Seed, p)
 		}
 	}()
-	return fn(r)
+	return fn(r, a)
 }
 
 // Replicate runs fn n times — the "same experiment, n independent seeds"
@@ -119,6 +137,13 @@ func protect[C, R any](fn func(Run[C]) (R, error), r Run[C]) (v R, err error) {
 func Replicate[R any](opts Options, n int, fn func(index int, seed int64) (R, error)) []Result[R] {
 	return Sweep(opts, make([]struct{}, n), func(r Run[struct{}]) (R, error) {
 		return fn(r.Index, r.Seed)
+	})
+}
+
+// ReplicateArena is Replicate with the per-worker Arena of SweepArena.
+func ReplicateArena[R any](opts Options, n int, fn func(index int, seed int64, a *Arena) (R, error)) []Result[R] {
+	return SweepArena(opts, make([]struct{}, n), func(r Run[struct{}], a *Arena) (R, error) {
+		return fn(r.Index, r.Seed, a)
 	})
 }
 

@@ -33,6 +33,16 @@ func NewNode(sched *sim.Scheduler, addr int) *Node {
 // AddRoute directs traffic for dst out the given port.
 func (n *Node) AddRoute(dst int, port *Port) { n.routes[dst] = port }
 
+// ReserveRoutes pre-sizes the routing table for the expected number of
+// destinations, so installing a full static routing table (topo.Build
+// adds one entry per reachable node) performs no incremental map growth.
+// It only applies while the table is still empty.
+func (n *Node) ReserveRoutes(count int) {
+	if len(n.routes) == 0 && count > 0 {
+		n.routes = make(map[int]*Port, count)
+	}
+}
+
 // Bind registers a local transport endpoint for a flow id. Packets
 // addressed to this node with that flow id are delivered to h.
 func (n *Node) Bind(flow int, h Handler) { n.local[flow] = h }

@@ -22,6 +22,24 @@ type fifo struct {
 	bytes int
 }
 
+// fifoSeedCap is the initial packet-slice capacity a bounded queue
+// preallocates: one allocation up front instead of the first several
+// append doublings, sized so the hundreds of mostly-shallow access-link
+// queues a sweep rebuilds per replication stay cheap while deep
+// bottleneck queues still grow on demand.
+const fifoSeedCap = 64
+
+// seed preallocates the store for a queue bounded by limit.
+func (q *fifo) seed(limit int) {
+	c := limit
+	if c > fifoSeedCap {
+		c = fifoSeedCap
+	}
+	if c > 0 {
+		q.pkts = make([]*Packet, 0, c)
+	}
+}
+
 func (q *fifo) push(p *Packet) {
 	q.pkts = append(q.pkts, p)
 	q.bytes += p.Size
@@ -62,7 +80,9 @@ func NewDropTail(limit int) *DropTail {
 	if limit <= 0 {
 		panic("netsim: DropTail limit must be positive")
 	}
-	return &DropTail{Limit: limit}
+	q := &DropTail{Limit: limit}
+	q.seed(limit)
+	return q
 }
 
 // Enqueue implements Queue.

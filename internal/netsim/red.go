@@ -87,6 +87,7 @@ func NewRED(cfg REDConfig, rng *rand.Rand) *RED {
 		rng:         rng,
 		ptc:         cfg.PacketsPerSecond,
 	}
+	q.seed(cfg.Limit)
 	if q.Wq == 0 {
 		q.Wq = 0.002
 	}

@@ -145,6 +145,11 @@ type Channel struct {
 	Dst    netsim.Handler
 	OnDrop func(pkt *netsim.Packet, at sim.Time)
 
+	// Pool, if set, receives dropped packets for reuse — the channel is
+	// the component that terminates a lost packet's life, mirroring
+	// netsim.Port's drop recycling. Delivered packets are owned by Dst.
+	Pool *netsim.PacketPool
+
 	deliver func(any) // created once; probing sends millions of packets
 }
 
@@ -165,6 +170,7 @@ func (c *Channel) Handle(pkt *netsim.Packet) {
 		if c.OnDrop != nil {
 			c.OnDrop(pkt, now)
 		}
+		c.Pool.Put(pkt)
 		return
 	}
 	c.Sched.AfterArg(c.Path.OneWayDelay(), c.deliver, pkt)

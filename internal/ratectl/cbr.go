@@ -21,6 +21,13 @@ type CBRConfig struct {
 	// Duration stops the source after this much simulated time; zero means
 	// run until stopped.
 	Duration sim.Duration
+
+	// Pool, when set, supplies the emitted packets from the world's
+	// freelist instead of allocating one per probe. The consumer that
+	// terminates each packet's life (channel drop, receiving sink) must
+	// recycle into the same pool; a nil pool reproduces the allocating
+	// behavior.
+	Pool *netsim.PacketPool
 }
 
 // CBR emits fixed-size packets at a fixed rate with perfectly even spacing
@@ -97,16 +104,18 @@ func (c *CBR) emit() {
 		return
 	}
 	c.pktID++
-	c.out.Handle(&netsim.Packet{
-		ID:       c.pktID,
-		Flow:     c.cfg.Flow,
-		Kind:     netsim.Data,
-		Size:     c.cfg.PktSize,
-		Seq:      c.seq,
-		Src:      c.cfg.Src,
-		Dst:      c.cfg.Dst,
-		SendTime: c.sched.Now(),
-	})
+	// Get returns a zeroed packet (or allocates when the pool is nil), so
+	// the emitted state is identical either way.
+	p := c.cfg.Pool.Get()
+	p.ID = c.pktID
+	p.Flow = c.cfg.Flow
+	p.Kind = netsim.Data
+	p.Size = c.cfg.PktSize
+	p.Seq = c.seq
+	p.Src = c.cfg.Src
+	p.Dst = c.cfg.Dst
+	p.SendTime = c.sched.Now()
+	c.out.Handle(p)
 	c.seq++
 	c.Sent++
 	c.timer = c.sched.After(c.interval, c.emitFn)

@@ -46,6 +46,25 @@ func (h *Histogram) AddAll(xs []float64) {
 	}
 }
 
+// Reset forgets every observation while keeping the bin layout and the
+// counts array, so one histogram can be reused across replications without
+// reallocating.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.Overflow = 0
+}
+
+// Clone returns an independent deep copy, for callers that retain a
+// histogram beyond the lifetime of the scratch arena that filled it.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]int64(nil), h.counts...)
+	return &c
+}
+
 // NumBins reports the number of in-range bins.
 func (h *Histogram) NumBins() int { return len(h.counts) }
 
@@ -60,42 +79,62 @@ func (h *Histogram) BinCenter(i int) float64 {
 	return (float64(i) + 0.5) * h.BinWidth
 }
 
+// AppendPMF appends the per-bin probability mass (count/total) to dst and
+// returns the extended slice — the allocation-free form the streaming
+// analysis path reuses across replications (dst[:0] with retained
+// capacity). Empty histogram appends all zeros.
+func (h *Histogram) AppendPMF(dst []float64) []float64 {
+	for _, c := range h.counts {
+		if h.total == 0 {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, float64(c)/float64(h.total))
+		}
+	}
+	return dst
+}
+
 // PMF returns the per-bin probability mass (count/total), the quantity the
 // paper plots on its log-scale Y axes. Empty histogram yields all zeros.
 func (h *Histogram) PMF() []float64 {
-	out := make([]float64, len(h.counts))
-	if h.total == 0 {
-		return out
+	return h.AppendPMF(make([]float64, 0, len(h.counts)))
+}
+
+// AppendDensity appends the PDF estimate (PMF divided by bin width) to dst.
+func (h *Histogram) AppendDensity(dst []float64) []float64 {
+	n := len(dst)
+	dst = h.AppendPMF(dst)
+	for i := n; i < len(dst); i++ {
+		dst[i] /= h.BinWidth
 	}
-	for i, c := range h.counts {
-		out[i] = float64(c) / float64(h.total)
-	}
-	return out
+	return dst
 }
 
 // Density returns the PDF estimate: PMF divided by bin width, so the curve
 // integrates to the in-range mass.
 func (h *Histogram) Density() []float64 {
-	out := h.PMF()
-	for i := range out {
-		out[i] /= h.BinWidth
+	return h.AppendDensity(make([]float64, 0, len(h.counts)))
+}
+
+// AppendCDF appends the cumulative in-range distribution at each bin's
+// right edge to dst.
+func (h *Histogram) AppendCDF(dst []float64) []float64 {
+	var cum int64
+	for _, c := range h.counts {
+		if h.total == 0 {
+			dst = append(dst, 0)
+			continue
+		}
+		cum += c
+		dst = append(dst, float64(cum)/float64(h.total))
 	}
-	return out
+	return dst
 }
 
 // CDF returns the cumulative in-range distribution at each bin's right
 // edge.
 func (h *Histogram) CDF() []float64 {
-	out := make([]float64, len(h.counts))
-	if h.total == 0 {
-		return out
-	}
-	var cum int64
-	for i, c := range h.counts {
-		cum += c
-		out[i] = float64(cum) / float64(h.total)
-	}
-	return out
+	return h.AppendCDF(make([]float64, 0, len(h.counts)))
 }
 
 // FractionBelow reports the fraction of all observations (including
@@ -119,19 +158,25 @@ func (h *Histogram) FractionBelow(x float64) float64 {
 	return float64(cum) / float64(h.total)
 }
 
+// AppendExponentialPMF appends the matched-rate exponential reference mass
+// of each bin to dst (zeros when lambda is non-positive).
+func (h *Histogram) AppendExponentialPMF(dst []float64, lambda float64) []float64 {
+	for i := range h.counts {
+		if lambda <= 0 {
+			dst = append(dst, 0)
+			continue
+		}
+		l := float64(i) * h.BinWidth
+		r := l + h.BinWidth
+		dst = append(dst, math.Exp(-lambda*l)-math.Exp(-lambda*r))
+	}
+	return dst
+}
+
 // ExponentialPMF returns the per-bin probability mass of an exponential
 // (Poisson inter-arrival) distribution with the given rate λ (events per
 // unit), over the same bins as h: P(bin i) = e^{-λ·l} − e^{-λ·r}. This is
 // the paper's "Poisson process with the same average arrival rate" overlay.
 func (h *Histogram) ExponentialPMF(lambda float64) []float64 {
-	out := make([]float64, len(h.counts))
-	if lambda <= 0 {
-		return out
-	}
-	for i := range out {
-		l := float64(i) * h.BinWidth
-		r := l + h.BinWidth
-		out[i] = math.Exp(-lambda*l) - math.Exp(-lambda*r)
-	}
-	return out
+	return h.AppendExponentialPMF(make([]float64, 0, len(h.counts)), lambda)
 }

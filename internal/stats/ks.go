@@ -12,14 +12,23 @@ import (
 // Poisson process's intervals give small D (≈ 1/√n scale), a clustered
 // process gives D near its cluster mass.
 func KSExponential(xs []float64) float64 {
+	d, _ := KSExponentialInto(xs, nil)
+	return d
+}
+
+// KSExponentialInto is KSExponential with a caller-provided scratch buffer
+// for the sorted copy. It returns the statistic and the (possibly grown)
+// buffer, so the streaming analysis path can reuse one buffer across
+// replications instead of allocating a sorted copy per test.
+func KSExponentialInto(xs, scratch []float64) (float64, []float64) {
 	if len(xs) == 0 {
-		return 0
+		return 0, scratch
 	}
 	mean := Mean(xs)
 	if mean <= 0 {
-		return 1
+		return 1, scratch
 	}
-	s := append([]float64(nil), xs...)
+	s := append(scratch[:0], xs...)
 	sort.Float64s(s)
 	n := float64(len(s))
 	var d float64
@@ -35,7 +44,7 @@ func KSExponential(xs []float64) float64 {
 			d = diff
 		}
 	}
-	return d
+	return d, s
 }
 
 // KSCriticalValue returns the approximate critical D for rejecting the

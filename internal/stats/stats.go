@@ -120,6 +120,71 @@ func IndexOfDispersion(times []float64, window float64) float64 {
 	return (ss / float64(len(counts))) / s.Mean
 }
 
+// DispersionCounter is the streaming form of IndexOfDispersion: it counts
+// events into fixed windows as they arrive (times must be nondecreasing,
+// which a single scheduler guarantees) and folds each closed window's
+// count into running Σc and Σc² instead of materializing a counts slice.
+// Value matches the batch IndexOfDispersion of the same event times up to
+// floating-point associativity. The zero value is unusable; call Reset.
+type DispersionCounter struct {
+	window   float64
+	n        int64 // events observed
+	curIdx   int64 // window index of the open window
+	curCount int64 // events in the open window
+	sumSq    float64
+	lastT    float64
+	started  bool
+}
+
+// Reset prepares the counter for a new run with the given window width.
+func (c *DispersionCounter) Reset(window float64) {
+	*c = DispersionCounter{window: window}
+}
+
+// Observe counts one event at time t (same units as the window).
+func (c *DispersionCounter) Observe(t float64) {
+	if c.window <= 0 {
+		return
+	}
+	idx := int64(t / c.window)
+	switch {
+	case !c.started:
+		c.started = true
+		c.curIdx = idx
+		c.curCount = 1
+	case idx == c.curIdx:
+		c.curCount++
+	default:
+		// Windows skipped between curIdx and idx are empty: they
+		// contribute 0 to Σc² and only enter through the window count.
+		c.sumSq += float64(c.curCount) * float64(c.curCount)
+		c.curIdx = idx
+		c.curCount = 1
+	}
+	c.n++
+	c.lastT = t
+}
+
+// Value returns the index of dispersion of the counts seen so far,
+// including every empty window up to the last observed event — the same
+// population-variance convention as IndexOfDispersion.
+func (c *DispersionCounter) Value() float64 {
+	if c.n == 0 || c.window <= 0 {
+		return 0
+	}
+	nwin := int64(c.lastT/c.window) + 1
+	sumSq := c.sumSq + float64(c.curCount)*float64(c.curCount)
+	mean := float64(c.n) / float64(nwin)
+	if mean == 0 {
+		return 0
+	}
+	popVar := sumSq/float64(nwin) - mean*mean
+	if popVar < 0 {
+		popVar = 0 // floating-point guard; variance is nonnegative
+	}
+	return popVar / mean
+}
+
 // Autocorrelation returns the lag-k sample autocorrelation of xs.
 func Autocorrelation(xs []float64, k int) float64 {
 	if k < 0 || k >= len(xs) {

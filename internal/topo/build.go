@@ -55,7 +55,9 @@ func Build(sched *sim.Scheduler, spec Spec, seed int64) (*Network, error) {
 		addr:  make(map[string]int, len(spec.Nodes)),
 		ports: make(map[edge]*netsim.Port, 2*len(spec.Links)),
 		dirs:  make(map[edge]Dir, 2*len(spec.Links)),
-		next:  make(map[edge]string),
+		// Every reachable (src, dst) pair gets a next-hop entry; sizing
+		// the map up front keeps route installation growth-free.
+		next: make(map[edge]string, len(spec.Nodes)*(len(spec.Nodes)-1)),
 	}
 
 	// Addresses: explicit pins first, then the lowest unused positive
@@ -153,37 +155,56 @@ func buildQueue(q QueueSpec, seed int64) netsim.Queue {
 // reachable destination, using breadth-first shortest paths. Ties are
 // broken deterministically by link declaration order, so two builds of the
 // same Spec always route identically.
+//
+// The BFS works on dense node indices with parent/queue buffers reused
+// across sources — replication sweeps rebuild their worlds constantly, so
+// route computation must not allocate a map per source the way the naive
+// string-keyed version did.
 func (n *Network) computeRoutes() {
-	// Adjacency in link-declaration order.
-	adj := make(map[string][]string, len(n.nodes))
-	for _, l := range n.spec.Links {
-		adj[l.A] = append(adj[l.A], l.B)
-		adj[l.B] = append(adj[l.B], l.A)
+	nn := len(n.spec.Nodes)
+	names := make([]string, nn)
+	index := make(map[string]int, nn)
+	for i, ns := range n.spec.Nodes {
+		names[i] = ns.Name
+		index[ns.Name] = i
 	}
 
-	for _, src := range n.spec.Nodes {
-		parent := map[string]string{src.Name: src.Name}
-		queue := []string{src.Name}
-		var order []string // BFS visit order, deterministic
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, nb := range adj[cur] {
-				if _, seen := parent[nb]; !seen {
-					parent[nb] = cur
+	// Adjacency in link-declaration order, as index lists.
+	adj := make([][]int, nn)
+	for _, l := range n.spec.Links {
+		a, b := index[l.A], index[l.B]
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+
+	parent := make([]int, nn)
+	queue := make([]int, 0, nn)
+	for src := 0; src < nn; src++ {
+		n.nodes[names[src]].ReserveRoutes(nn - 1)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue = append(queue[:0], src)
+		// The BFS discovery order past the head IS the visit order the
+		// string version tracked separately.
+		for head := 0; head < len(queue); head++ {
+			for _, nb := range adj[queue[head]] {
+				if parent[nb] < 0 {
+					parent[nb] = queue[head]
 					queue = append(queue, nb)
-					order = append(order, nb)
 				}
 			}
 		}
-		for _, dst := range order {
+		srcName := names[src]
+		for _, dst := range queue[1:] {
 			// First hop: walk the parent chain from dst back to src.
 			hop := dst
-			for parent[hop] != src.Name {
+			for parent[hop] != src {
 				hop = parent[hop]
 			}
-			n.next[edge{src.Name, dst}] = hop
-			n.nodes[src.Name].AddRoute(n.addr[dst], n.ports[edge{src.Name, hop}])
+			n.next[edge{srcName, names[dst]}] = names[hop]
+			n.nodes[srcName].AddRoute(n.addr[names[dst]], n.ports[edge{srcName, names[hop]}])
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -46,7 +47,9 @@ func (c *ScenarioConfig) FillDefaults() {
 type ScenarioResult struct {
 	// Report is the inter-loss-interval PDF analysis.
 	Report *analysis.Report
-	// Trace is the raw post-warmup drop trace.
+	// Trace is the raw post-warmup drop trace; nil when the scenario ran
+	// in streaming mode (RunIn), where events are analyzed online and
+	// never retained.
 	Trace *trace.Recorder
 	// MeanRTT is the normalization RTT handed to the analysis.
 	MeanRTT sim.Duration
@@ -67,10 +70,19 @@ type Scenario struct {
 	Description string
 	// Topology summarizes the path structure (nodes/links/bottlenecks).
 	Topology string
-	// Run executes one world with the given config. Implementations must
-	// honor the determinism contract: build everything inside Run, derive
-	// all randomness from cfg.Seed, and never share state across calls.
+	// Run executes one world with the given config, retaining the drop
+	// trace and analyzing it with the batch pipeline — the mode the
+	// golden-trace and CSV paths use. Implementations must honor the
+	// determinism contract: build everything inside Run, derive all
+	// randomness from cfg.Seed, and never share state across calls.
 	Run func(cfg ScenarioConfig) (*ScenarioResult, error)
+	// RunIn, when set, executes the same world in streaming mode on a
+	// sweep worker's arena: the scheduler, packet pool and measurement
+	// scratch come from the arena, losses are analyzed online, and the
+	// result's Trace is nil. The report must match Run's within float
+	// tolerance (TestStreamingMatchesBatch). Sweeps prefer RunIn and fall
+	// back to Run.
+	RunIn func(cfg ScenarioConfig, a *exp.Arena) (*ScenarioResult, error)
 }
 
 var (

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/crosstraffic"
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/planetlab"
 	"repro/internal/sim"
@@ -26,48 +27,62 @@ import (
 )
 
 func init() {
-	topo.Register(topo.Scenario{
-		Name:        "dumbbell",
-		Description: "the paper's Figure-1 baseline through the declarative builder",
-		Topology:    "2 routers, 1 shared DropTail bottleneck, 16 pairs, U[2,200]ms access",
-		Run:         runDumbbell,
-	})
-	topo.Register(topo.Scenario{
-		Name:        "parking-lot",
-		Description: "bottlenecks in series with independent cross traffic per hop",
-		Topology:    "4 routers, 3 congested 30 Mbps hops, 8 end-to-end pairs",
-		Run:         runParkingLot,
-	})
-	topo.Register(topo.Scenario{
-		Name:        "access-tree",
-		Description: "shared-access tree: one congested uplink feeding per-leaf access links",
-		Topology:    "8 leaves → edge → 20 Mbps uplink → core → server",
-		Run:         runAccessTree,
-	})
-	topo.Register(topo.Scenario{
-		Name:        "hetero-mesh",
-		Description: "heterogeneous-RTT multi-bottleneck mesh driven by PlanetLab path latencies",
-		Topology:    "3-router backbone, 2 unequal bottlenecks, 8 PlanetLab-RTT pairs",
-		Run:         runHeteroMesh,
-	})
+	register := func(name, description, topology string,
+		run func(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error)) {
+		topo.Register(topo.Scenario{
+			Name:        name,
+			Description: description,
+			Topology:    topology,
+			Run: func(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+				return run(cfg, nil)
+			},
+			RunIn: run,
+		})
+	}
+	register("dumbbell",
+		"the paper's Figure-1 baseline through the declarative builder",
+		"2 routers, 1 shared DropTail bottleneck, 16 pairs, U[2,200]ms access",
+		runDumbbell)
+	register("parking-lot",
+		"bottlenecks in series with independent cross traffic per hop",
+		"4 routers, 3 congested 30 Mbps hops, 8 end-to-end pairs",
+		runParkingLot)
+	register("access-tree",
+		"shared-access tree: one congested uplink feeding per-leaf access links",
+		"8 leaves → edge → 20 Mbps uplink → core → server",
+		runAccessTree)
+	register("hetero-mesh",
+		"heterogeneous-RTT multi-bottleneck mesh driven by PlanetLab path latencies",
+		"3-router backbone, 2 unequal bottlenecks, 8 PlanetLab-RTT pairs",
+		runHeteroMesh)
 }
 
 // world bundles the per-run state every scenario shares: one scheduler,
-// the drop recorder, and the warmup cutoff.
+// the drop recorder, and the warmup cutoff. With an arena (streaming
+// mode) the pieces come from the sweep worker's scratch and finish
+// analyzes the loss stream online; without one (retain mode, the golden
+// and CSV paths) everything is fresh and finish batch-analyzes the
+// retained trace.
 type world struct {
 	sched *sim.Scheduler
 	rec   *trace.Recorder
 	warm  sim.Time
 	pool  *netsim.PacketPool
+	arena *exp.Arena
 }
 
-func newWorld(cfg topo.ScenarioConfig) *world {
-	return &world{
-		sched: sim.NewScheduler(),
-		rec:   &trace.Recorder{},
-		warm:  sim.Time(cfg.Warmup),
-		pool:  netsim.NewPacketPool(),
+func newWorld(cfg topo.ScenarioConfig, a *exp.Arena) *world {
+	w := &world{warm: sim.Time(cfg.Warmup), arena: a}
+	if a != nil {
+		w.sched = a.Scheduler()
+		w.rec = a.Recorder()
+		w.pool = a.Pool()
+		return w
 	}
+	w.sched = sim.NewScheduler()
+	w.rec = &trace.Recorder{}
+	w.pool = netsim.NewPacketPool()
+	return w
 }
 
 // observeDrops records post-warmup losses at the given ports. Ports fire
@@ -83,11 +98,41 @@ func (w *world) observeDrops(ports ...*netsim.Port) {
 	}
 }
 
-// finish runs the world to cfg.Duration and analyzes the merged trace.
+// finish runs the world to cfg.Duration and analyzes the loss process:
+// online through the arena's streaming analyzer and burst tracker in
+// streaming mode (the sink is installed before any event fires, so no
+// event is ever retained), batch over the retained trace otherwise.
 func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duration) (*topo.ScenarioResult, error) {
+	var an *analysis.Streaming
+	var bt *analysis.BurstTracker
+	if w.arena != nil {
+		var err error
+		an, err = w.arena.Analyzer(meanRTT, analysis.Config{})
+		if err != nil {
+			return nil, err
+		}
+		bt = w.arena.Bursts(meanRTT / 4)
+		w.rec.SetSink(func(e trace.LossEvent) {
+			an.Observe(e)
+			bt.Observe(e)
+		}, false)
+	}
 	w.sched.RunUntil(sim.Time(cfg.Duration))
 	if w.rec.Len() < 2 {
 		return nil, fmt.Errorf("scenarios: %s produced %d drops; increase duration or load", name, w.rec.Len())
+	}
+	if an != nil {
+		rep, err := an.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		return &topo.ScenarioResult{
+			Report:  rep.Clone(), // detach from the arena's scratch
+			MeanRTT: meanRTT,
+			Bursts:  bt.Stats(),
+			Drops:   w.rec.Len(),
+			Events:  w.sched.Fired(),
+		}, nil
 	}
 	report, err := analysis.AnalyzeTrace(w.rec, meanRTT, analysis.Config{})
 	if err != nil {
@@ -150,13 +195,13 @@ func bufferFor(rate int64, meanRTT sim.Duration, pktSize int) int {
 
 // runDumbbell is the paper's NS-2 setup expressed as a registered
 // scenario: the Figure-2 world built through the declarative spec path.
-func runDumbbell(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+func runDumbbell(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
 	cfg.FillDefaults()
 	const (
 		flows = 16
 		rate  = 100_000_000
 	)
-	w := newWorld(cfg)
+	w := newWorld(cfg, a)
 	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
 	delays := netsim.RandomAccessDelays(rng, flows, 2*sim.Millisecond, 200*sim.Millisecond)
 
@@ -187,14 +232,14 @@ func runDumbbell(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 // runParkingLot chains several congested hops in series — the classic
 // parking-lot topology. Every hop carries its own on–off cross traffic, so
 // losses cluster independently at multiple queues along the path.
-func runParkingLot(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+func runParkingLot(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
 	cfg.FillDefaults()
 	const (
 		hops    = 3
 		flows   = 8
 		hopRate = 30_000_000
 	)
-	w := newWorld(cfg)
+	w := newWorld(cfg, a)
 	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
 	delays := netsim.RandomAccessDelays(rng, flows, 2*sim.Millisecond, 100*sim.Millisecond)
 
@@ -266,14 +311,14 @@ func router(h int) string { return fmt.Sprintf("R%d", h) }
 // access links all feed one congested uplink toward a server — the
 // broadband/campus aggregation shape, where every leaf's losses happen at
 // the same shared queue.
-func runAccessTree(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+func runAccessTree(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
 	cfg.FillDefaults()
 	const (
 		leaves     = 8
 		uplinkRate = 20_000_000
 		leafRate   = 100_000_000
 	)
-	w := newWorld(cfg)
+	w := newWorld(cfg, a)
 	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
 	delays := netsim.RandomAccessDelays(rng, leaves, sim.Millisecond, 60*sim.Millisecond)
 
@@ -333,7 +378,7 @@ func runAccessTree(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 // backbone with two unequal bottlenecks in series — wide-area RTT
 // heterogeneity (2 ms to 350 ms) meeting multiple congestion points, the
 // closest registered shape to the paper's Internet measurements.
-func runHeteroMesh(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+func runHeteroMesh(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
 	cfg.FillDefaults()
 	const (
 		pairs     = 8
@@ -341,7 +386,7 @@ func runHeteroMesh(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
 		eastRate  = 40_000_000
 		coreDelay = 5 * sim.Millisecond
 	)
-	w := newWorld(cfg)
+	w := newWorld(cfg, a)
 
 	// Path RTTs come from the synthetic PlanetLab mesh: pick site pairs
 	// deterministically and fold each pair's wide-area latency into its

@@ -23,18 +23,49 @@ type LossEvent struct {
 	Size int      // bytes
 }
 
-// Recorder collects loss events in arrival order. The zero value is ready.
-// It is intended to be installed as a netsim.Port.OnDrop callback; the
-// simulated world is single-threaded so no locking is needed.
+// Recorder collects loss events in arrival order. The zero value is ready
+// and retains every event. It is intended to be installed as a
+// netsim.Port.OnDrop callback; the simulated world is single-threaded so no
+// locking is needed.
+//
+// A Recorder can also run in sink/observer mode (SetSink): each Add is
+// forwarded to the sink — typically an analysis.Streaming fed straight from
+// the bottleneck port — and, when retention is disabled, not stored at all.
+// That is how sweeps analyze loss processes online with O(1) memory;
+// retain mode stays the default because the golden-trace and CSV paths
+// need the raw events.
 type Recorder struct {
-	events []LossEvent
+	events  []LossEvent
+	n       int               // events added, retained or not
+	sink    func(e LossEvent) // observer, may be nil
+	discard bool              // inverted so the zero value retains
 }
 
-// Add appends a loss event.
-func (r *Recorder) Add(e LossEvent) { r.events = append(r.events, e) }
+// SetSink installs an observer called for every subsequent Add. When
+// retain is false the recorder stops storing events (Events returns only
+// what was retained before the switch); the event count is maintained
+// either way. A nil sink with retain true restores the zero-value
+// behavior.
+func (r *Recorder) SetSink(sink func(e LossEvent), retain bool) {
+	r.sink = sink
+	r.discard = !retain
+}
 
-// Len reports the number of recorded events.
-func (r *Recorder) Len() int { return len(r.events) }
+// Add records a loss event: it is counted, offered to the sink if one is
+// installed, and retained unless sink mode disabled retention.
+func (r *Recorder) Add(e LossEvent) {
+	r.n++
+	if r.sink != nil {
+		r.sink(e)
+	}
+	if !r.discard {
+		r.events = append(r.events, e)
+	}
+}
+
+// Len reports the number of recorded events, including events a sink-mode
+// recorder observed without retaining.
+func (r *Recorder) Len() int { return r.n }
 
 // Events returns the recorded events in arrival order. The returned slice
 // is owned by the recorder; callers must not mutate it.
@@ -49,16 +80,25 @@ func (r *Recorder) Times() []sim.Time {
 	return out
 }
 
-// Reset discards all recorded events, keeping capacity.
-func (r *Recorder) Reset() { r.events = r.events[:0] }
+// Reset discards all recorded events, keeping capacity and any installed
+// sink.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.n = 0
+}
 
 // Sorted reports whether events are in nondecreasing time order (they
 // always are when recorded from a single router, but merged traces may
-// need sorting).
+// need sorting). The index-based loop keeps the check allocation-free —
+// sort.SliceIsSorted would allocate for its capturing closure and
+// interface header on every call.
 func (r *Recorder) Sorted() bool {
-	return sort.SliceIsSorted(r.events, func(i, j int) bool {
-		return r.events[i].At < r.events[j].At
-	})
+	for i := 1; i < len(r.events); i++ {
+		if r.events[i].At < r.events[i-1].At {
+			return false
+		}
+	}
+	return true
 }
 
 // SortByTime sorts events into nondecreasing time order (stable, so ties
@@ -70,12 +110,20 @@ func (r *Recorder) SortByTime() {
 }
 
 // Merge combines several recorders into one time-sorted recorder, used when
-// an experiment records losses at multiple routers.
+// an experiment records losses at multiple routers. It merges the RETAINED
+// events: a recorder that ran in sink mode contributes nothing here (its
+// observations were forwarded, not stored), so merge retain-mode recorders
+// only. The output is sized once from the known total.
 func Merge(rs ...*Recorder) *Recorder {
-	out := &Recorder{}
+	total := 0
+	for _, r := range rs {
+		total += len(r.events)
+	}
+	out := &Recorder{events: make([]LossEvent, 0, total)}
 	for _, r := range rs {
 		out.events = append(out.events, r.events...)
 	}
+	out.n = len(out.events)
 	out.SortByTime()
 	return out
 }
@@ -130,7 +178,8 @@ func ReadCSV(rd io.Reader) (*Recorder, error) {
 	if rows[0][0] != csvHeader[0] {
 		return nil, fmt.Errorf("trace: missing header, got %q", rows[0][0])
 	}
-	r := &Recorder{}
+	// The row count is known, so the event buffer is sized exactly once.
+	r := &Recorder{events: make([]LossEvent, 0, len(rows)-1)}
 	for i, row := range rows[1:] {
 		at, err := strconv.ParseInt(row[0], 10, 64)
 		if err != nil {

@@ -37,6 +37,41 @@ func TestRecorderBasics(t *testing.T) {
 	}
 }
 
+// TestRecorderSinkModes covers the observer API: sink-without-retention
+// forwards and counts but stores nothing; sink-with-retention tees; and
+// clearing the sink restores the zero-value behavior.
+func TestRecorderSinkModes(t *testing.T) {
+	var r Recorder
+	var seen []LossEvent
+	r.SetSink(func(e LossEvent) { seen = append(seen, e) }, false)
+	r.Add(LossEvent{At: 1, Flow: 1})
+	r.Add(LossEvent{At: 2, Flow: 2})
+	if r.Len() != 2 {
+		t.Fatalf("sink mode Len = %d, want 2", r.Len())
+	}
+	if len(r.Events()) != 0 {
+		t.Fatalf("sink mode retained %d events", len(r.Events()))
+	}
+	if len(seen) != 2 || seen[1].Flow != 2 {
+		t.Fatalf("sink saw %v", seen)
+	}
+
+	r.Reset()
+	seen = nil
+	r.SetSink(func(e LossEvent) { seen = append(seen, e) }, true)
+	r.Add(LossEvent{At: 3, Flow: 3})
+	if r.Len() != 1 || len(r.Events()) != 1 || len(seen) != 1 {
+		t.Fatalf("tee mode: len=%d retained=%d seen=%d", r.Len(), len(r.Events()), len(seen))
+	}
+
+	r.Reset()
+	r.SetSink(nil, true)
+	r.Add(LossEvent{At: 4})
+	if r.Len() != 1 || len(r.Events()) != 1 {
+		t.Fatal("cleared sink did not restore retain behavior")
+	}
+}
+
 func TestRecorderSingleEventIntervals(t *testing.T) {
 	var r Recorder
 	r.Add(LossEvent{At: 5})

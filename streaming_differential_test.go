@@ -1,0 +1,127 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/topo"
+
+	_ "repro/internal/topo/scenarios"
+)
+
+// closeEnough compares two floats with a tight relative tolerance — the
+// allowance for the streaming path's different floating-point
+// associativity (Welford moments, Σc²-form dispersion).
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+// TestStreamingMatchesBatch is the differential contract of the streaming
+// measurement engine: every registered scenario, run once in retain/batch
+// mode (Run) and once in streaming mode (RunIn), must produce the same
+// Report — exactly for everything integer-derived (N, histogram counts,
+// clustering fractions, the arrival-ordered mean and so Lambda, the KS
+// statistic while the reservoir holds the full trace, the burst
+// structure), and within float tolerance for the two online moments (CoV,
+// index of dispersion).
+//
+// All four scenarios run on ONE arena in sequence, so the test also
+// proves the scratch reset: state leaking from one run into the next
+// would break the comparison for whichever scenario runs second.
+func TestStreamingMatchesBatch(t *testing.T) {
+	cfg := topo.ScenarioConfig{
+		Seed:     11,
+		Duration: 12 * sim.Second,
+		Warmup:   3 * sim.Second,
+	}
+	arena := exp.NewArena()
+	names := topo.Names()
+	if len(names) < 4 {
+		t.Fatalf("registry has %d scenarios, want ≥ 4", len(names))
+	}
+	for _, name := range names {
+		sc, _ := topo.Lookup(name)
+		if sc.RunIn == nil {
+			t.Fatalf("scenario %q has no streaming entry point", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			batch, err := sc.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := sc.RunIn(cfg, arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if stream.Trace != nil {
+				t.Fatal("streaming run retained a trace")
+			}
+			if batch.Trace == nil || batch.Trace.Len() != batch.Drops {
+				t.Fatal("batch run lost its trace")
+			}
+			if stream.Drops != batch.Drops || stream.Events != batch.Events ||
+				stream.MeanRTT != batch.MeanRTT {
+				t.Fatalf("world diverged: drops %d/%d events %d/%d rtt %v/%v",
+					stream.Drops, batch.Drops, stream.Events, batch.Events,
+					stream.MeanRTT, batch.MeanRTT)
+			}
+			if stream.Bursts != batch.Bursts {
+				t.Fatalf("burst stats diverged:\nstream %+v\nbatch  %+v",
+					stream.Bursts, batch.Bursts)
+			}
+
+			sr, br := stream.Report, batch.Report
+			if sr.N != br.N || sr.RTT != br.RTT {
+				t.Fatalf("N/RTT diverged: %d/%v vs %d/%v", sr.N, sr.RTT, br.N, br.RTT)
+			}
+			if sr.Lambda != br.Lambda {
+				t.Fatalf("Lambda %v != %v", sr.Lambda, br.Lambda)
+			}
+			if sr.FracBelow001 != br.FracBelow001 || sr.FracBelow025 != br.FracBelow025 ||
+				sr.FracBelow1 != br.FracBelow1 {
+				t.Fatalf("fractions diverged: %v/%v/%v vs %v/%v/%v",
+					sr.FracBelow001, sr.FracBelow025, sr.FracBelow1,
+					br.FracBelow001, br.FracBelow025, br.FracBelow1)
+			}
+			if sr.KSDistance != br.KSDistance || sr.RejectsPoisson != br.RejectsPoisson {
+				t.Fatalf("KS diverged: %v/%v vs %v/%v",
+					sr.KSDistance, sr.RejectsPoisson, br.KSDistance, br.RejectsPoisson)
+			}
+			if !closeEnough(sr.CoV, br.CoV) {
+				t.Fatalf("CoV %v vs %v beyond tolerance", sr.CoV, br.CoV)
+			}
+			if !closeEnough(sr.IndexOfDispersion, br.IndexOfDispersion) {
+				t.Fatalf("IoD %v vs %v beyond tolerance",
+					sr.IndexOfDispersion, br.IndexOfDispersion)
+			}
+
+			if sr.Hist.NumBins() != br.Hist.NumBins() || sr.Hist.Total() != br.Hist.Total() ||
+				sr.Hist.Overflow != br.Hist.Overflow {
+				t.Fatalf("histogram shape diverged")
+			}
+			for i := 0; i < br.Hist.NumBins(); i++ {
+				if sr.Hist.Count(i) != br.Hist.Count(i) {
+					t.Fatalf("bin %d: %d != %d", i, sr.Hist.Count(i), br.Hist.Count(i))
+				}
+				if sr.PoissonPMF[i] != br.PoissonPMF[i] {
+					t.Fatalf("poisson bin %d: %v != %v", i, sr.PoissonPMF[i], br.PoissonPMF[i])
+				}
+			}
+
+			if len(sr.Intervals) != len(br.Intervals) {
+				t.Fatalf("interval count %d != %d (reservoir overflowed?)",
+					len(sr.Intervals), len(br.Intervals))
+			}
+			for i := range br.Intervals {
+				if sr.Intervals[i] != br.Intervals[i] {
+					t.Fatalf("interval %d: %v != %v", i, sr.Intervals[i], br.Intervals[i])
+				}
+			}
+		})
+	}
+}

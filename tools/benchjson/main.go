@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 
 	"repro/internal/perf"
 )
@@ -40,6 +41,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		allocsTol = fs.Float64("allocs-tol", 0, "diff: default allowed allocs/op growth in percent (0 = any increase fails)")
 		stampNs   = fs.Float64("stamp-ns-tol", 0, "parse: record this per-benchmark ns/op tolerance in the snapshot (baselines compared across machines need headroom)")
 		stampAl   = fs.Float64("stamp-allocs-tol", -1, "parse: record this per-benchmark allocs/op tolerance in the snapshot (-1 = none)")
+		strict    = fs.String("stamp-strict-allocs", "", "parse: regexp of benchmark names stamped with a ZERO allocs/op tolerance (any increase fails), overriding -stamp-allocs-tol; used for the analysis benches, whose allocation counts are fully deterministic")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,6 +80,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
 		return 1
 	}
+	var strictRe *regexp.Regexp
+	if *strict != "" {
+		re, err := regexp.Compile(*strict)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: -stamp-strict-allocs: %v\n", err)
+			return 2
+		}
+		strictRe = re
+	}
 	snap.Label = *label
 	for i := range snap.Benchmarks {
 		if *stampNs > 0 {
@@ -87,6 +98,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if *stampAl >= 0 {
 			v := *stampAl
 			snap.Benchmarks[i].AllocsTolerancePct = &v
+		}
+		if strictRe != nil && strictRe.MatchString(snap.Benchmarks[i].Name) {
+			zero := 0.0
+			snap.Benchmarks[i].AllocsTolerancePct = &zero
 		}
 	}
 	if *out == "" {

@@ -68,6 +68,36 @@ func TestStampTolerances(t *testing.T) {
 	}
 }
 
+// TestStampStrictAllocs: benches matching -stamp-strict-allocs get a zero
+// allocs/op tolerance regardless of the global stamp, so any increase on
+// them fails the gate.
+func TestStampStrictAllocs(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_baseline.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", out, "-stamp-allocs-tol", "0.5",
+		"-stamp-strict-allocs", "^BenchmarkA$"},
+		strings.NewReader(benchText), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	snap, err := perf.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := snap.Lookup("BenchmarkA"), snap.Lookup("BenchmarkB")
+	if a.AllocsTolerancePct == nil || *a.AllocsTolerancePct != 0 {
+		t.Fatalf("strict bench not zeroed: %+v", a)
+	}
+	if b.AllocsTolerancePct == nil || *b.AllocsTolerancePct != 0.5 {
+		t.Fatalf("non-matching bench lost its global stamp: %+v", b)
+	}
+	// A malformed regexp is a usage error.
+	if code := run([]string{"-stamp-strict-allocs", "("},
+		strings.NewReader(benchText), &stdout, &stderr); code != 2 {
+		t.Fatalf("bad regexp: exit %d, want 2", code)
+	}
+}
+
 func TestDiffExitCodes(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, ns float64) string {

@@ -42,25 +42,50 @@ func main() {
 	fmt.Println("docscheck: package docs, markdown links and BENCH snapshots OK")
 }
 
+// analysisBenches are the measurement-pipeline micro-benchmarks: their
+// allocation counts are fully deterministic (no scheduler, no rng), so
+// the bench-gate baseline must carry them with a ZERO allocs/op
+// tolerance — any allocation regression in the analysis layer fails CI.
+var analysisBenches = []string{"BenchmarkAnalyzeBatch", "BenchmarkAnalyzeStreaming"}
+
 // checkBenchSnapshots validates the benchmark-trajectory files: every
-// BENCH_*.json at the repository root must parse against the perf schema,
-// and the CI bench-gate's baseline must exist (the gate job would
-// otherwise fail much later, on every PR).
+// BENCH_*.json at the repository root must parse against the perf schema;
+// the trajectory points (BENCH_0 … BENCH_2) and the CI bench-gate's
+// baseline must exist (the gate job would otherwise fail much later, on
+// every PR); and the baseline must gate the analysis benches strictly.
 func checkBenchSnapshots(root string) []string {
 	var out []string
 	matches, _ := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
 	sort.Strings(matches)
-	haveBaseline := false
+	snaps := map[string]*perf.Snapshot{}
 	for _, path := range matches {
-		if filepath.Base(path) == "BENCH_baseline.json" {
-			haveBaseline = true
-		}
-		if _, err := perf.ReadFile(path); err != nil {
+		s, err := perf.ReadFile(path)
+		if err != nil {
 			out = append(out, fmt.Sprintf("%s: invalid bench snapshot: %v", path, err))
+			continue
+		}
+		snaps[filepath.Base(path)] = s
+	}
+	for _, required := range []string{"BENCH_0.json", "BENCH_1.json", "BENCH_2.json"} {
+		if _, ok := snaps[required]; !ok {
+			out = append(out, required+" missing: the benchmark trajectory must be checked in")
 		}
 	}
-	if !haveBaseline {
+	base, ok := snaps["BENCH_baseline.json"]
+	if !ok {
 		out = append(out, "BENCH_baseline.json missing: the CI bench-gate has no baseline to diff against")
+		return out
+	}
+	for _, name := range analysisBenches {
+		b := base.Lookup(name)
+		switch {
+		case b == nil:
+			out = append(out, fmt.Sprintf("BENCH_baseline.json: %s missing from the bench-gate smoke set", name))
+		case b.AllocsPerOp == nil:
+			out = append(out, fmt.Sprintf("BENCH_baseline.json: %s recorded without -benchmem allocs/op", name))
+		case b.AllocsTolerancePct == nil || *b.AllocsTolerancePct != 0:
+			out = append(out, fmt.Sprintf("BENCH_baseline.json: %s needs a stamped zero allocs/op tolerance (benchjson -stamp-strict-allocs)", name))
+		}
 	}
 	return out
 }
