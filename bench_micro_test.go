@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/analysis"
@@ -199,6 +200,65 @@ func BenchmarkAnalyzeStreaming(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.ReportMetric(run().CoV, "cov")
+	}
+}
+
+// BenchmarkWifiGilbertSecond runs one simulated second of a time-varying
+// world — 8 TCP flows over a random-walk-modulated wireless hop with a
+// Gilbert–Elliott wire dropper — so the link-dynamics path (modulator
+// retunes, per-packet chain draws, wire-drop recycling) sits in the CI
+// bench-gate smoke set next to the static DumbbellSecond.
+func BenchmarkWifiGilbertSecond(b *testing.B) {
+	b.ReportAllocs()
+	spec := topo.Spec{Name: "wifi-bench"}
+	spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: "ap"}, topo.NodeSpec{Name: "gw"})
+	spec.Links = append(spec.Links, topo.LinkSpec{
+		A: "ap", B: "gw",
+		AB: topo.Dir{
+			Rate: 30_000_000, Delay: 3 * sim.Millisecond,
+			Queue: topo.QueueSpec{Limit: 64},
+			Dynamics: &topo.DynamicsSpec{Walk: &topo.WalkSpec{
+				Min: 12_000_000, Max: 54_000_000, Factor: 1.3, Interval: 20 * sim.Millisecond,
+			}},
+			Loss: &topo.LossSpec{PGB: 0.003, PBG: 0.25, KGood: 0, KBad: 0.9},
+		},
+		BA: topo.Dir{Rate: 30_000_000, Delay: 3 * sim.Millisecond},
+	})
+	for j := 0; j < 8; j++ {
+		snd, rcv := fmt.Sprintf("s%d", j), fmt.Sprintf("r%d", j)
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: snd}, topo.NodeSpec{Name: rcv})
+		access := topo.Dir{Rate: 1_000_000_000, Delay: sim.Duration(3+3*j) * sim.Millisecond}
+		spec.Links = append(spec.Links,
+			topo.LinkSpec{A: snd, B: "ap", AB: access},
+			topo.LinkSpec{A: "gw", B: rcv, AB: access},
+		)
+		spec.Flows = append(spec.Flows, topo.FlowSpec{From: snd, To: rcv})
+	}
+	for i := 0; i < b.N; i++ {
+		sched := sim.NewScheduler()
+		pool := netsim.NewPacketPool()
+		net, err := topo.Build(sched, spec, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.AttachPool(pool)
+		for j := 0; j < net.NumFlows(); j++ {
+			f := tcp.NewPairFlow(sched, net.FlowSender(j), net.FlowReceiver(j), j+1, tcp.Config{
+				InitialRTT: net.FlowRTT(j),
+				Pool:       pool,
+			})
+			f.Sender.Start()
+		}
+		sched.RunUntil(sim.Time(sim.Second))
+		hop := net.Port("ap", "gw")
+		if hop.Forwarded == 0 {
+			b.Fatal("wireless hop forwarded nothing")
+		}
+		if hop.LinkDropped == 0 {
+			b.Fatal("GE chain never dropped on the wire")
+		}
+		b.ReportMetric(float64(sched.Fired()), "events")
+		b.ReportMetric(float64(hop.Dropped+hop.LinkDropped), "drops")
 	}
 }
 

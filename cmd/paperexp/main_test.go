@@ -116,7 +116,10 @@ func TestRunScenarioList(t *testing.T) {
 	if code := run([]string{"-scenario", "list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
-	for _, name := range []string{"dumbbell", "parking-lot", "access-tree", "hetero-mesh"} {
+	for _, name := range []string{
+		"dumbbell", "parking-lot", "access-tree", "hetero-mesh",
+		"wifi-gilbert", "cellular-trace", "flaky-backbone",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Fatalf("catalog missing %q:\n%s", name, stdout.String())
 		}

@@ -21,7 +21,10 @@ var quickScenarioCfg = topo.ScenarioConfig{
 func TestScenarioCatalogRegistered(t *testing.T) {
 	t.Parallel()
 	names := topo.Names()
-	for _, want := range []string{"dumbbell", "parking-lot", "access-tree", "hetero-mesh"} {
+	for _, want := range []string{
+		"dumbbell", "parking-lot", "access-tree", "hetero-mesh",
+		"wifi-gilbert", "cellular-trace", "flaky-backbone",
+	} {
 		found := false
 		for _, n := range names {
 			if n == want {

@@ -242,4 +242,40 @@ func TestGEDeterminism(t *testing.T) {
 	}
 }
 
+// TestGilbertBurstLengthDistribution pins the simple-Gilbert (KBad=1,
+// KGood=0) burst-length law to its analytic form: with every Bad packet
+// lost, an observed loss burst is exactly one Bad-state dwell, which is
+// geometric with parameter PBG — mean 1/PBG and tail
+// P(len > k) = (1-PBG)^k. This is the property the netsim wire-dropper
+// inherits, and what makes the link-layer losses sub-RTT-clustered.
+func TestGilbertBurstLengthDistribution(t *testing.T) {
+	params := GEParams{PGB: 0.002, PBG: 0.2, KGood: 0, KBad: 1}
+	seq := Generate(NewGilbertElliott(params, rand.New(rand.NewSource(9))), 2_000_000)
+	bursts := BurstLengths(seq)
+	if len(bursts) < 1000 {
+		t.Fatalf("only %d bursts; not enough samples", len(bursts))
+	}
+
+	got := meanInts(bursts)
+	want := params.MeanBurstLen() // 1/PBG = 5
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("mean burst length = %v, want ≈ %v (1/PBG)", got, want)
+	}
+
+	// Geometric tail: the survival fraction at k must match (1-PBG)^k.
+	for _, k := range []int{1, 2, 5, 10} {
+		over := 0
+		for _, b := range bursts {
+			if b > k {
+				over++
+			}
+		}
+		gotTail := float64(over) / float64(len(bursts))
+		wantTail := math.Pow(1-params.PBG, float64(k))
+		if math.Abs(gotTail-wantTail) > 0.02 {
+			t.Fatalf("P(burst > %d) = %v, want ≈ %v", k, gotTail, wantTail)
+		}
+	}
+}
+
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -36,7 +36,8 @@ func (l *Link) TxTime(size int) sim.Duration {
 // Port is an output port: a queue feeding a link. Arriving packets enter
 // the queue (or are dropped, invoking OnDrop); the port transmits the head
 // packet whenever the link is idle. This is the standard ns-2 queue+link
-// model and is where every loss in the system happens.
+// model, and — together with the optional LinkLoss wire-drop hook — where
+// every loss in the system happens.
 //
 // The per-packet path is allocation-free: the serialization-complete and
 // delivery callbacks are created once in NewPort (the in-flight packet
@@ -57,6 +58,17 @@ type Port struct {
 	// non-ideal packet processing time of a software router.
 	ProcNoise func() sim.Duration
 
+	// LinkLoss, if set, is the link-layer loss process: it is consulted
+	// exactly once per packet, when the packet finishes serializing, and a
+	// true return drops the packet on the wire instead of delivering it.
+	// Wire drops fire OnDrop (so loss observers see one merged,
+	// time-ordered stream of queue and link losses), count in LinkDropped
+	// (not Dropped), and recycle into Pool like queue drops. The process
+	// must be stateful-deterministic — typically a seeded
+	// lossmodel.GilbertElliott's Lost method, wired by topo.Build from a
+	// Spec's LossSpec.
+	LinkLoss func() bool
+
 	// Pool, if set, receives dropped packets for reuse. The port only
 	// frees packets it terminates (drops); delivered packets are owned by
 	// whoever consumes them downstream.
@@ -69,10 +81,14 @@ type Port struct {
 	txDone  func()    // serialization-complete callback, created once
 	deliver func(any) // propagation-complete callback, created once
 
-	// Counters for experiment bookkeeping.
-	Forwarded uint64
-	Dropped   uint64
-	TxBytes   uint64
+	// Counters for experiment bookkeeping. Forwarded and TxBytes count
+	// packets that completed serialization, including those LinkLoss then
+	// drops on the wire; Dropped counts queue rejections and LinkDropped
+	// counts wire losses, so offered = delivered + Dropped + LinkDropped.
+	Forwarded   uint64
+	Dropped     uint64
+	LinkDropped uint64
+	TxBytes     uint64
 }
 
 // NewPort wires a queue to a link on the given scheduler.
@@ -135,7 +151,17 @@ func (p *Port) transmitNext() {
 func (p *Port) onTxDone() {
 	pkt := p.txPkt
 	p.txPkt = nil
-	p.Sched.AfterArg(p.Link.Delay, p.deliver, pkt)
+	if p.LinkLoss != nil && p.LinkLoss() {
+		// Lost on the wire: the packet occupied the link for its full
+		// serialization time but never arrives.
+		p.LinkDropped++
+		if p.OnDrop != nil {
+			p.OnDrop(pkt, p.Sched.Now())
+		}
+		p.Pool.Put(pkt)
+	} else {
+		p.Sched.AfterArg(p.Link.Delay, p.deliver, pkt)
+	}
 	p.transmitNext()
 }
 

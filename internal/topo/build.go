@@ -3,6 +3,7 @@ package topo
 import (
 	"fmt"
 
+	"repro/internal/lossmodel"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -30,9 +31,10 @@ type Network struct {
 	addr  map[string]int
 	ports map[edge]*netsim.Port
 	dirs  map[edge]Dir
-	edges []edge          // directed-port creation order
-	next  map[edge]string // (src,dst) -> next-hop node name
-	rtts  []sim.Duration  // per-flow base RTT
+	mods  map[edge]*netsim.LinkModulator // directions with Dynamics, started
+	edges []edge                         // directed-port creation order
+	next  map[edge]string                // (src,dst) -> next-hop node name
+	rtts  []sim.Duration                 // per-flow base RTT
 }
 
 // Build wires spec onto sched. RED queues declared in the spec draw their
@@ -82,7 +84,11 @@ func Build(sched *sim.Scheduler, spec Spec, seed int64) (*Network, error) {
 	}
 
 	// Ports: one per direction, in link order (A→B then B→A), each with
-	// its own queue instance.
+	// its own queue, loss-process and modulator instance. Every direction
+	// derives one position seed; the queue consumes it directly (the
+	// pre-dynamics seeding, kept bit-identical) and the loss chain and
+	// modulator draw SubSeed children of it, so adding dynamics to one
+	// link never perturbs another link's streams.
 	for i, l := range spec.Links {
 		ab, ba := l.AB, l.mirrored()
 		for _, d := range []struct {
@@ -93,9 +99,21 @@ func Build(sched *sim.Scheduler, spec Spec, seed int64) (*Network, error) {
 			{edge{l.A, l.B}, ab, int64(2 * i)},
 			{edge{l.B, l.A}, ba, int64(2*i + 1)},
 		} {
-			q := buildQueue(d.dir.Queue, sim.SubSeed(seed, d.tag))
+			dirSeed := sim.SubSeed(seed, d.tag)
+			q := buildQueue(d.dir.Queue, dirSeed)
 			link := netsim.NewLink(d.dir.Rate, d.dir.Delay, n.nodes[d.e.to])
-			n.ports[d.e] = netsim.NewPort(sched, q, link)
+			port := netsim.NewPort(sched, q, link)
+			if ls := d.dir.Loss; ls != nil {
+				ge := lossmodel.NewGilbertElliott(ls.params(), sim.NewRand(sim.SubSeed(dirSeed, 1)))
+				port.LinkLoss = ge.Lost
+			}
+			if dyn := d.dir.Dynamics; dyn != nil {
+				if n.mods == nil {
+					n.mods = make(map[edge]*netsim.LinkModulator)
+				}
+				n.mods[d.e] = buildDynamics(sched, link, dyn, sim.SubSeed(dirSeed, 2))
+			}
+			n.ports[d.e] = port
 			n.dirs[d.e] = d.dir
 			n.edges = append(n.edges, d.e)
 		}
@@ -251,6 +269,16 @@ func (n *Network) Port(from, to string) *netsim.Port {
 		panic(fmt.Sprintf("topo: no link %q→%q", from, to))
 	}
 	return p
+}
+
+// Modulator returns the started link modulator of a directed link whose
+// Dir declared Dynamics, or nil when the direction is static. Panics on an
+// unknown link, like Port.
+func (n *Network) Modulator(from, to string) *netsim.LinkModulator {
+	if _, ok := n.ports[edge{from, to}]; !ok {
+		panic(fmt.Sprintf("topo: no link %q→%q", from, to))
+	}
+	return n.mods[edge{from, to}]
 }
 
 // AttachPool installs the world's packet freelist on every port, so each

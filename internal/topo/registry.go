@@ -70,6 +70,12 @@ type Scenario struct {
 	Description string
 	// Topology summarizes the path structure (nodes/links/bottlenecks).
 	Topology string
+	// Headline is the measured headline burstiness (convention: a 12 s
+	// seed-1 run, `go run ./examples/topologies`) rendered into the
+	// generated EXPERIMENTS.md scenario catalog by
+	// `docscheck -write-catalog`. Optional; the generator prints "—" when
+	// empty.
+	Headline string
 	// Run executes one world with the given config, retaining the drop
 	// trace and analyzing it with the batch pipeline — the mode the
 	// golden-trace and CSV paths use. Implementations must honor the

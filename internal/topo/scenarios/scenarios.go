@@ -2,14 +2,21 @@
 // topo registry: the paper's dumbbell baseline plus the topologies the
 // paper's conclusions are claimed to generalize to — a parking-lot chain
 // of bottlenecks with per-hop cross traffic, a shared-access tree with one
-// congested uplink, and a heterogeneous-RTT multi-bottleneck mesh whose
-// path latencies come from the synthetic PlanetLab testbed. Importing this
-// package (usually blank, for the side effect) populates topo.Scenarios();
-// each scenario produces the same analysis.Report burstiness metrics as
-// the dumbbell figures, so the paper's sub-RTT-clustering result can be
-// checked on every topology with one command:
+// congested uplink, a heterogeneous-RTT multi-bottleneck mesh whose path
+// latencies come from the synthetic PlanetLab testbed, and the
+// time-varying set (see dynamics.go): a Gilbert–Elliott wireless hop, a
+// trace-driven cellular downlink and a periodically failing backbone.
+// Importing this package (usually blank, for the side effect) populates
+// topo.Scenarios(); each scenario produces the same analysis.Report
+// burstiness metrics as the dumbbell figures, so the paper's
+// sub-RTT-clustering result can be checked on every topology with one
+// command:
 //
 //	paperexp -scenario all
+//
+// The EXPERIMENTS.md scenario-catalog table is generated from these
+// registrations by `docscheck -write-catalog`; keep each Scenario's
+// Topology and Headline strings current when editing a scenario.
 package scenarios
 
 import (
@@ -26,34 +33,43 @@ import (
 	"repro/internal/trace"
 )
 
+// register wires one run function into the registry under both execution
+// modes (batch and streaming). headline is the measured catalog number
+// (see topo.Scenario.Headline).
+func register(name, description, topology, headline string,
+	run func(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error)) {
+	topo.Register(topo.Scenario{
+		Name:        name,
+		Description: description,
+		Topology:    topology,
+		Headline:    headline,
+		Run: func(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
+			return run(cfg, nil)
+		},
+		RunIn: run,
+	})
+}
+
 func init() {
-	register := func(name, description, topology string,
-		run func(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error)) {
-		topo.Register(topo.Scenario{
-			Name:        name,
-			Description: description,
-			Topology:    topology,
-			Run: func(cfg topo.ScenarioConfig) (*topo.ScenarioResult, error) {
-				return run(cfg, nil)
-			},
-			RunIn: run,
-		})
-	}
 	register("dumbbell",
 		"the paper's Figure-1 baseline through the declarative builder",
 		"2 routers, 1 shared DropTail bottleneck, 16 pairs, U[2,200]ms access",
+		"frac < 0.01 RTT ≈ 1.00, CoV ≈ 33",
 		runDumbbell)
 	register("parking-lot",
 		"bottlenecks in series with independent cross traffic per hop",
 		"4 routers, 3 congested 30 Mbps hops, 8 end-to-end pairs",
+		"frac < 0.01 RTT ≈ 0.90, CoV ≈ 16",
 		runParkingLot)
 	register("access-tree",
 		"shared-access tree: one congested uplink feeding per-leaf access links",
 		"8 leaves → edge → 20 Mbps uplink → core → server",
+		"frac < 0.01 RTT ≈ 0.89, CoV ≈ 10",
 		runAccessTree)
 	register("hetero-mesh",
 		"heterogeneous-RTT multi-bottleneck mesh driven by PlanetLab path latencies",
 		"3-router backbone, 2 unequal bottlenecks, 8 PlanetLab-RTT pairs",
+		"frac < 0.01 RTT ≈ 0.90, CoV ≈ 15",
 		runHeteroMesh)
 }
 

@@ -68,6 +68,14 @@ type Dir struct {
 	Delay sim.Duration
 	// Queue selects the buffering discipline (DropTail by default).
 	Queue QueueSpec
+	// Dynamics, when non-nil, makes the direction time-varying: the
+	// builder starts a netsim.LinkModulator that retunes the link's
+	// rate/delay on the declared schedule (Rate and Delay above are the
+	// parameters before the first retune). See DynamicsSpec.
+	Dynamics *DynamicsSpec
+	// Loss, when non-nil, attaches a seeded Gilbert–Elliott link-layer
+	// loss process to the direction's wire. See LossSpec.
+	Loss *LossSpec
 }
 
 // QueueSpec selects and sizes a queueing discipline. Precedence: Custom,
@@ -185,8 +193,9 @@ func (s Spec) validate() error {
 		// its own rate; a BA with delay/queue but no rate would be
 		// silently discarded, hiding an intended asymmetric link.
 		if l.BA.Rate == 0 &&
-			(l.BA.Delay != 0 || l.BA.Queue.Limit != 0 || l.BA.Queue.RED != nil || l.BA.Queue.Custom != nil) {
-			return fmt.Errorf("topo: %s link %q→%q reverse direction sets delay/queue but no rate", name, l.B, l.A)
+			(l.BA.Delay != 0 || l.BA.Queue.Limit != 0 || l.BA.Queue.RED != nil || l.BA.Queue.Custom != nil ||
+				l.BA.Dynamics != nil || l.BA.Loss != nil) {
+			return fmt.Errorf("topo: %s link %q→%q reverse direction sets delay/queue/dynamics but no rate", name, l.B, l.A)
 		}
 		for _, d := range []struct {
 			dir  Dir
@@ -204,6 +213,16 @@ func (s Spec) validate() error {
 			if r := d.dir.Queue.RED; r != nil && d.dir.Queue.Custom == nil {
 				if r.MinTh < 0 || r.MaxTh < r.MinTh || r.MaxP <= 0 || r.MaxP > 1 {
 					return fmt.Errorf("topo: %s link %q→%q has inconsistent RED thresholds", name, d.a, d.b)
+				}
+			}
+			if dyn := d.dir.Dynamics; dyn != nil {
+				if err := dyn.validate(); err != nil {
+					return fmt.Errorf("topo: %s link %q→%q: %w", name, d.a, d.b, err)
+				}
+			}
+			if ls := d.dir.Loss; ls != nil {
+				if err := ls.params().Validate(); err != nil {
+					return fmt.Errorf("topo: %s link %q→%q: %w", name, d.a, d.b, err)
 				}
 			}
 		}

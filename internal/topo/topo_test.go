@@ -87,7 +87,7 @@ func TestBuildValidationErrors(t *testing.T) {
 			Links: []topo.LinkSpec{{A: "a", B: "b",
 				AB: topo.Dir{Rate: 1},
 				BA: topo.Dir{Delay: 50 * sim.Millisecond}}}},
-			"reverse direction sets delay/queue but no rate"},
+			"reverse direction sets delay/queue/dynamics but no rate"},
 		{"bad RED", topo.Spec{Name: "x",
 			Nodes: []topo.NodeSpec{{Name: "a"}, {Name: "b"}},
 			Links: []topo.LinkSpec{{A: "a", B: "b",
