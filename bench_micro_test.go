@@ -50,6 +50,84 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerWheelChurn drives the timing wheel across both
+// levels: every step arms a short timer that lands in the level-0 wheel
+// and fires, re-arms a medium timer on the level-1 wheel (cancelling the
+// previous one through the slot swap-remove path), and advances simulated
+// time across level-1 slot boundaries so cascade runs too. Together with
+// BenchmarkSchedulerChurn (heap-dominated near-horizon churn) it pins
+// both halves of the scheduler front-end.
+func BenchmarkSchedulerWheelChurn(b *testing.B) {
+	b.ReportAllocs()
+	const steps = 100000
+	for i := 0; i < b.N; i++ {
+		s := sim.NewScheduler()
+		noop := func() {}
+		var far sim.Timer
+		n := 0
+		var step func()
+		step = func() {
+			if far.Pending() {
+				s.Cancel(far)
+			}
+			far = s.After(50*sim.Millisecond, noop) // level-1 horizon
+			s.After(300*sim.Microsecond, noop)      // level-0 horizon, fires
+			n++
+			if n < steps {
+				s.After(20*sim.Microsecond, step)
+			}
+		}
+		s.After(0, step)
+		s.Run()
+		if n != steps {
+			b.Fatalf("ran %d steps", n)
+		}
+	}
+}
+
+// BenchmarkWorldInstantiate measures the compiled-topology lifecycle on a
+// 16-pair dumbbell: the Program is compiled once, and each op stamps out
+// one world (Instantiate) then rewinds it seven times with fresh seeds
+// (Reset) — the one-build-many-resets shape replication sweeps produce.
+// The reset path is the one that must stay near allocation-free.
+func BenchmarkWorldInstantiate(b *testing.B) {
+	b.ReportAllocs()
+	const pairs = 16
+	delays := make([]sim.Duration, pairs)
+	for i := range delays {
+		delays[i] = 5 * sim.Millisecond
+	}
+	spec := topo.DumbbellSpec(netsim.DumbbellConfig{
+		BottleneckRate:  100_000_000,
+		BottleneckDelay: sim.Millisecond,
+		AccessRate:      1_000_000_000,
+		AccessDelays:    delays,
+		Buffer:          64,
+	})
+	prog, err := topo.Compile(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := sim.NewScheduler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Reset()
+		net, err := prog.Instantiate(sched, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < 7; r++ {
+			sched.Reset()
+			if err := net.Reset(spec, int64(r+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if net.NumFlows() != pairs {
+			b.Fatalf("world has %d flows, want %d", net.NumFlows(), pairs)
+		}
+	}
+}
+
 // BenchmarkLinkEnqueueDequeue drives one overloaded DropTail port: bursts
 // arrive faster than the link drains, so the benchmark exercises enqueue,
 // serialization scheduling, delivery and the drop-recycle path together.

@@ -7,12 +7,22 @@ package apps
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topo"
 )
+
+// pairFlowCache is the arena-scratch value RunParallelIn keeps per flow
+// count: the flows plus the world they were built on, so a rebuilt world
+// invalidates them.
+type pairFlowCache struct {
+	net   *topo.Network
+	flows []*tcp.Flow
+}
 
 // ParallelConfig describes one parallel-transfer experiment.
 type ParallelConfig struct {
@@ -93,21 +103,23 @@ func (r ParallelResult) Normalized() float64 {
 
 // RunParallel executes one parallel transfer on a fresh dumbbell.
 func RunParallel(cfg ParallelConfig) ParallelResult {
-	return RunParallelIn(cfg, sim.NewScheduler(), netsim.NewPacketPool())
+	return RunParallelIn(cfg, exp.NewArena())
 }
 
-// RunParallelIn is RunParallel on a caller-provided scheduler and packet
-// pool — the scratch-reuse form replication sweeps drive with a
-// per-worker arena, so back-to-back transfers share one event freelist
-// and one packet population. The scheduler is Reset first, which makes a
-// reused world bit-identical to a fresh one.
-func RunParallelIn(cfg ParallelConfig, sched *sim.Scheduler, pool *netsim.PacketPool) ParallelResult {
+// RunParallelIn is RunParallel on a caller-provided arena — the
+// scratch-reuse form replication sweeps drive with a per-worker arena, so
+// back-to-back transfers share one event freelist, one packet population
+// and one compiled-and-instantiated dumbbell (reset per run via
+// topo.NetworkIn, not rebuilt). The arena's scheduler is Reset on access,
+// which makes a reused world bit-identical to a fresh one.
+func RunParallelIn(cfg ParallelConfig, a *exp.Arena) ParallelResult {
 	cfg.fillDefaults()
 	if cfg.Flows <= 0 || cfg.TotalBytes <= 0 {
 		panic(fmt.Sprintf("apps: bad parallel config %+v", cfg))
 	}
 
-	sched.Reset()
+	sched := a.Scheduler()
+	pool := a.Pool()
 	delays := make([]sim.Duration, cfg.Flows)
 	for i := range delays {
 		// The dumbbell builder gives RTT = 2·access + 2·bottleneck delay;
@@ -115,7 +127,7 @@ func RunParallelIn(cfg ParallelConfig, sched *sim.Scheduler, pool *netsim.Packet
 		// delay.
 		delays[i] = cfg.RTT / 2
 	}
-	d := topo.NewDumbbell(sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbellIn(a, sched, netsim.DumbbellConfig{
 		BottleneckRate:  cfg.BottleneckRate,
 		BottleneckDelay: 0,
 		AccessRate:      10 * cfg.BottleneckRate,
@@ -127,29 +139,50 @@ func RunParallelIn(cfg ParallelConfig, sched *sim.Scheduler, pool *netsim.Packet
 	totalPkts := (cfg.TotalBytes + int64(cfg.PktSize) - 1) / int64(cfg.PktSize)
 	perFlow := totalPkts / int64(cfg.Flows)
 	rem := totalPkts % int64(cfg.Flows)
-
-	flows := make([]*tcp.Flow, cfg.Flows)
-	for i := 0; i < cfg.Flows; i++ {
+	flowCfg := func(i int) tcp.Config {
 		quota := perFlow
 		if int64(i) < rem {
 			quota++
 		}
-		flows[i] = tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, tcp.Config{
+		return tcp.Config{
 			PktSize:      cfg.PktSize,
 			TotalPackets: quota,
 			Paced:        cfg.Paced,
 			InitialRTT:   cfg.RTT,
 			Pool:         pool,
-		})
-	}
-	remaining := cfg.Flows
-	for _, f := range flows {
-		f.Sender.OnComplete = func(at sim.Time) {
-			remaining--
-			if remaining == 0 {
-				sched.Halt()
-			}
 		}
+	}
+
+	// Flows ride the arena too: a cached world keeps its endpoint nodes, so
+	// the pair flows built on them rewind (ResetPair) instead of being
+	// reconstructed — the receivers' warm out-of-order maps are most of a
+	// repeat run's remaining allocations. The cache is validated against the
+	// world instance: if NetworkIn rebuilt the dumbbell, the flows rebuild.
+	key := "apps/pairflows/" + strconv.Itoa(cfg.Flows)
+	var flows []*tcp.Flow
+	if v, ok := a.Scratch(key).(*pairFlowCache); ok && v.net == d.Net {
+		flows = v.flows
+		for i, f := range flows {
+			f.ResetPair(d.SenderNode(i), d.ReceiverNode(i), i+1, flowCfg(i))
+		}
+	} else {
+		flows = make([]*tcp.Flow, cfg.Flows)
+		for i := range flows {
+			flows[i] = tcp.NewPairFlow(sched, d.SenderNode(i), d.ReceiverNode(i), i+1, flowCfg(i))
+		}
+		a.SetScratch(key, &pairFlowCache{net: d.Net, flows: flows})
+	}
+	// One shared completion closure for all flows (not one per flow —
+	// closures are a per-run allocation a sweep pays thousands of times).
+	remaining := cfg.Flows
+	done := func(at sim.Time) {
+		remaining--
+		if remaining == 0 {
+			sched.Halt()
+		}
+	}
+	for _, f := range flows {
+		f.Sender.OnComplete = done
 	}
 	for _, f := range flows {
 		f.Sender.Start()
@@ -191,13 +224,14 @@ func Sweep(cfg ParallelConfig, k int) []float64 {
 // SweepEvents is Sweep plus the total simulated-event count across the k
 // runs, for throughput accounting.
 func SweepEvents(cfg ParallelConfig, k int) ([]float64, uint64) {
-	return SweepEventsIn(cfg, k, sim.NewScheduler(), netsim.NewPacketPool())
+	return SweepEventsIn(cfg, k, exp.NewArena())
 }
 
 // SweepEventsIn is SweepEvents running every perturbed repetition on the
-// same scheduler and pool (see RunParallelIn), so a Figure-8 grid cell
-// reuses its worker's scratch across all its runs.
-func SweepEventsIn(cfg ParallelConfig, k int, sched *sim.Scheduler, pool *netsim.PacketPool) ([]float64, uint64) {
+// same arena (see RunParallelIn), so a Figure-8 grid cell reuses its
+// worker's scratch — scheduler freelist, packet pool and cached dumbbell
+// world — across all its runs.
+func SweepEventsIn(cfg ParallelConfig, k int, a *exp.Arena) ([]float64, uint64) {
 	out := make([]float64, 0, k)
 	var events uint64
 	for i := 0; i < k; i++ {
@@ -205,7 +239,7 @@ func SweepEventsIn(cfg ParallelConfig, k int, sched *sim.Scheduler, pool *netsim
 		// Perturb: shift RTT by i·25 µs so queue phase differs run to run,
 		// the same role the paper's random run-to-run state plays.
 		c.RTT += sim.Duration(i) * 25 * sim.Microsecond
-		r := RunParallelIn(c, sched, pool)
+		r := RunParallelIn(c, a)
 		out = append(out, r.Normalized())
 		events += r.Events
 	}

@@ -60,6 +60,66 @@ type VisibilityResult struct {
 // we count how many distinct flows lose at least one packet, averaged
 // over trials.
 func SimulateVisibility(m, n, k, trials int, rng *rand.Rand) VisibilityResult {
+	return simulateVisibility(new(visScratch), m, n, k, trials, rng)
+}
+
+// visScratch holds the Monte Carlo's reusable buffers: the two
+// arrival-order owner arrays (pure functions of N and K, so every burst
+// size in a table sweep shares them) and an epoch-stamped distinct-flow
+// counter that replaces the per-trial set allocation — the counting is
+// identical, just O(burst) with no map.
+type visScratch struct {
+	n, k        int
+	interleaved []int // owner[i] = flow owning arrival i, round-robin order
+	clumped     []int // owner[i] under contiguous per-flow windows
+	stamp       []int // stamp[flow] == epoch ⇔ flow counted this trial
+	epoch       int
+}
+
+// prepare sizes the buffers for an (n, k) grid, rebuilding the owner
+// arrays only when the shape actually changed.
+func (s *visScratch) prepare(n, k int) {
+	if s.n == n && s.k == k {
+		return
+	}
+	s.n, s.k = n, k
+	total := n * k
+	if cap(s.interleaved) < total {
+		s.interleaved = make([]int, total)
+		s.clumped = make([]int, total)
+	} else {
+		s.interleaved = s.interleaved[:total]
+		s.clumped = s.clumped[:total]
+	}
+	for i := 0; i < total; i++ {
+		s.interleaved[i] = i % n
+		s.clumped[i] = i / k
+	}
+	if cap(s.stamp) < n {
+		s.stamp = make([]int, n)
+		s.epoch = 0
+	} else {
+		s.stamp = s.stamp[:n]
+	}
+}
+
+// countDistinct counts the flows owning at least one of the m arrivals
+// starting at offset (wrapping), using the epoch stamp instead of a set.
+func (s *visScratch) countDistinct(owner []int, offset, m int) int {
+	s.epoch++
+	total := len(owner)
+	distinct := 0
+	for i := offset; i < offset+m; i++ {
+		f := owner[i%total]
+		if s.stamp[f] != s.epoch {
+			s.stamp[f] = s.epoch
+			distinct++
+		}
+	}
+	return distinct
+}
+
+func simulateVisibility(s *visScratch, m, n, k, trials int, rng *rand.Rand) VisibilityResult {
 	if m <= 0 || n <= 0 || k <= 0 || trials <= 0 || rng == nil {
 		panic("core: SimulateVisibility requires positive parameters and rng")
 	}
@@ -72,28 +132,13 @@ func SimulateVisibility(m, n, k, trials int, rng *rand.Rand) VisibilityResult {
 	if m > total {
 		m = total
 	}
-
-	// Arrival orders: owner[i] = flow owning the i-th arrival.
-	interleaved := make([]int, total)
-	clumped := make([]int, total)
-	for i := 0; i < total; i++ {
-		interleaved[i] = i % n
-		clumped[i] = i / k
-	}
-
-	countDistinct := func(owner []int, offset int) int {
-		seen := make(map[int]struct{}, n)
-		for i := offset; i < offset+m; i++ {
-			seen[owner[i%total]] = struct{}{}
-		}
-		return len(seen)
-	}
+	s.prepare(n, k)
 
 	var sumRate, sumWin float64
 	for t := 0; t < trials; t++ {
 		off := rng.Intn(total)
-		sumRate += float64(countDistinct(interleaved, off))
-		sumWin += float64(countDistinct(clumped, off))
+		sumRate += float64(s.countDistinct(s.interleaved, off, m))
+		sumWin += float64(s.countDistinct(s.clumped, off, m))
 	}
 	res.EmpiricalRate = sumRate / float64(trials)
 	res.EmpiricalWin = sumWin / float64(trials)
@@ -105,8 +150,9 @@ func SimulateVisibility(m, n, k, trials int, rng *rand.Rand) VisibilityResult {
 func VisibilityTable(n, k int, bursts []int, trials int, seed int64) []VisibilityResult {
 	rng := sim.NewRand(seed)
 	out := make([]VisibilityResult, 0, len(bursts))
+	s := new(visScratch)
 	for _, m := range bursts {
-		out = append(out, SimulateVisibility(m, n, k, trials, rng))
+		out = append(out, simulateVisibility(s, m, n, k, trials, rng))
 	}
 	return out
 }

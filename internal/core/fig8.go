@@ -103,7 +103,8 @@ func RunFigure8(cfg Fig8Config) *Fig8Result {
 	results := exp.SweepArena(exp.Options{Seed: cfg.Seed, Workers: cfg.Workers}, grid,
 		func(r exp.Run[cellCfg], a *exp.Arena) (Fig8Cell, error) {
 			// Every run of every cell this worker executes reuses one
-			// scheduler freelist and one packet population from the arena.
+			// scheduler freelist, one packet population and (per flow
+			// count) one cached dumbbell world from the arena.
 			vals, events := apps.SweepEventsIn(apps.ParallelConfig{
 				TotalBytes:     cfg.TotalBytes,
 				Flows:          r.Config.flows,
@@ -111,7 +112,7 @@ func RunFigure8(cfg Fig8Config) *Fig8Result {
 				RTT:            r.Config.rtt,
 				BottleneckRate: cfg.BottleneckRate,
 				Paced:          cfg.Paced,
-			}, cfg.Runs, a.Scheduler(), a.Pool())
+			}, cfg.Runs, a)
 			s := stats.Summarize(vals)
 			return Fig8Cell{
 				RTT: r.Config.rtt, Flows: r.Config.flows,

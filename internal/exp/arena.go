@@ -31,11 +31,12 @@ import (
 // for it, and Sweep's non-arena call path costs one empty struct per
 // worker.
 type Arena struct {
-	sched  *sim.Scheduler
-	pool   *netsim.PacketPool
-	an     *analysis.Streaming
-	bursts *analysis.BurstTracker
-	rec    *trace.Recorder
+	sched   *sim.Scheduler
+	pool    *netsim.PacketPool
+	an      *analysis.Streaming
+	bursts  *analysis.BurstTracker
+	rec     *trace.Recorder
+	scratch map[string]any
 }
 
 // NewArena returns an empty arena. Sweeps create arenas themselves; the
@@ -44,14 +45,27 @@ type Arena struct {
 func NewArena() *Arena { return &Arena{} }
 
 // Scheduler returns the arena's scheduler, reset to the empty time-zero
-// state (the event freelist and queue capacity survive the reset).
+// state (the event freelist and queue capacity survive the reset). The
+// reset recovers in-flight packets: any *netsim.Packet riding an abandoned
+// event as its argument is recycled into the arena's pool instead of
+// leaking, so the pool's population survives world resets intact.
 func (a *Arena) Scheduler() *sim.Scheduler {
 	if a.sched == nil {
 		a.sched = sim.NewScheduler()
+		a.sched.SetResetDrain(a.drainArg)
 	} else {
 		a.sched.Reset()
 	}
 	return a.sched
+}
+
+// drainArg is the scheduler's reset-drain hook: recover abandoned packets
+// into the pool, ignore every other argument type. Put is nil-safe, so a
+// worker that never touched the pool pays nothing.
+func (a *Arena) drainArg(v any) {
+	if p, ok := v.(*netsim.Packet); ok {
+		a.pool.Put(p)
+	}
 }
 
 // Pool returns the arena's packet pool. Pools need no reset: Get zeroes
@@ -93,6 +107,26 @@ func (a *Arena) Analyzer(rtt sim.Duration, cfg analysis.Config) (*analysis.Strea
 		return nil, err
 	}
 	return a.an, nil
+}
+
+// Scratch returns the value cached under key, or nil when nothing is
+// stored. It is the read side of the arena's open scratch space (see
+// SetScratch).
+func (a *Arena) Scratch(key string) any { return a.scratch[key] }
+
+// SetScratch caches an arbitrary reusable value under key for later runs
+// on the same arena. Unlike the typed accessors above, scratch values are
+// NOT reset on access — the caller owns their rewind discipline. The
+// canonical user is topo.NetworkIn, which caches one compiled-and-
+// instantiated world per structural shape and Resets it per run; layers
+// above exp use this to thread world reuse through a sweep without exp
+// importing them (exp cannot import topo — topo's scenario registry
+// already imports exp).
+func (a *Arena) SetScratch(key string, v any) {
+	if a.scratch == nil {
+		a.scratch = make(map[string]any)
+	}
+	a.scratch[key] = v
 }
 
 // Bursts returns the arena's burst tracker, reset with the given

@@ -105,7 +105,8 @@ func SweepArena[C, R any](opts Options, configs []C, fn func(Run[C], *Arena) (R,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			arena := NewArena()
+			arena := getArena()
+			defer putArena(arena)
 			for i := range jobs {
 				r := Run[C]{Index: i, Seed: sim.SubSeed(opts.Seed, int64(i)), Config: configs[i]}
 				v, err := protect(fn, r, arena)
@@ -120,6 +121,21 @@ func SweepArena[C, R any](opts Options, configs []C, fn func(Run[C], *Arena) (R,
 	wg.Wait()
 	return results
 }
+
+// arenaPool recycles worker arenas across sweeps. A sweep's arenas carry
+// warm capacity that is expensive to regrow — event freelists, wheel-slot
+// and queue-store slices, packet populations, cached compiled worlds — and
+// every one of those is rewound by its accessor (Scheduler resets, worlds
+// Reset via topo.NetworkIn), so a pooled arena is observationally
+// identical to a fresh one while skipping the regrowth. Back-to-back
+// sweeps (replication campaigns, benchmark iterations, paperexp artifact
+// batches) therefore pay world construction once per process, not once
+// per sweep. Under memory pressure the pool sheds arenas like any
+// sync.Pool.
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+func getArena() *Arena  { return arenaPool.Get().(*Arena) }
+func putArena(a *Arena) { arenaPool.Put(a) }
 
 // protect runs fn, converting a panic into an error so one bad replication
 // cannot take down a whole sweep.

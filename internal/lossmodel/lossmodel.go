@@ -130,6 +130,20 @@ func NewGilbertElliott(params GEParams, rng *rand.Rand) *GilbertElliott {
 // State exposes the current chain state (for tests and instrumentation).
 func (g *GilbertElliott) State() GEState { return g.state }
 
+// Reset rewinds the chain to the Good state, retakes the parameters and
+// reseeds its random stream in place, making the process bit-identical to
+// NewGilbertElliott(params, rand.New(rand.NewSource(seed))) without
+// reallocating — the hook world-reset paths use to rewind link loss.
+func (g *GilbertElliott) Reset(params GEParams, seed int64) {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	g.PGB, g.PBG = params.PGB, params.PBG
+	g.KGood, g.KBad = params.KGood, params.KBad
+	g.state = Good
+	g.rng.Seed(seed)
+}
+
 // Lost implements Process: advance the chain one packet and report loss.
 func (g *GilbertElliott) Lost() bool {
 	// Transition first, then emit according to the new state. (Emitting

@@ -165,6 +165,34 @@ func (p *Port) onTxDone() {
 	p.transmitNext()
 }
 
+// Reset returns the port to its just-built state for world reuse:
+// leftover queued and in-flight packets recycle into the pool, the
+// counters zero, and the per-run hooks (OnDrop, ProcNoise, LinkLoss)
+// detach. The queue instance, link and internal callbacks persist —
+// rewinding the discipline's own state (DropTail.Reset, RED.Reset) and
+// the link's rate/delay is the topology layer's job. Callers must reset
+// the owning scheduler first (or alongside), since pending serialization
+// and delivery events are cancelled wholesale there.
+func (p *Port) Reset() {
+	for {
+		pkt := p.Queue.Dequeue()
+		if pkt == nil {
+			break
+		}
+		p.Pool.Put(pkt)
+	}
+	p.Pool.Put(p.txPkt)
+	p.txPkt = nil
+	p.busy = false
+	p.OnDrop = nil
+	p.ProcNoise = nil
+	p.LinkLoss = nil
+	p.Forwarded = 0
+	p.Dropped = 0
+	p.LinkDropped = 0
+	p.TxBytes = 0
+}
+
 // QueueLen reports the instantaneous queue length in packets.
 func (p *Port) QueueLen() int { return p.Queue.Len() }
 

@@ -55,6 +55,16 @@ func (n *Node) BindDefault(h Handler) { n.catch = h }
 // but have no handler; useful to catch mis-wired experiments early.
 func (n *Node) OnLocalDrop(f func(p *Packet, at sim.Time)) { n.drops = f }
 
+// Reset detaches the per-run wiring — local transport bindings, the
+// catch-all handler and the local-drop observer — while keeping the
+// static routing table, which depends only on topology structure. A reset
+// node is ready for the next run's Bind/BindDefault calls.
+func (n *Node) Reset() {
+	clear(n.local)
+	n.catch = nil
+	n.drops = nil
+}
+
 // Handle implements Handler: deliver locally or forward.
 func (n *Node) Handle(pkt *Packet) {
 	if pkt.Dst == n.Addr {

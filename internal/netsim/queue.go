@@ -64,6 +64,18 @@ func (q *fifo) pop() *Packet {
 
 func (q *fifo) len() int { return len(q.pkts) - q.head }
 
+// reset empties the store in place, keeping the slice's capacity. The
+// caller must already have drained (and recycled) the queued packets —
+// typically via Port.Reset — so only dead slots remain to truncate.
+func (q *fifo) reset() {
+	for i := q.head; i < len(q.pkts); i++ {
+		q.pkts[i] = nil
+	}
+	q.pkts = q.pkts[:0]
+	q.head = 0
+	q.bytes = 0
+}
+
 // DropTail is a FIFO queue with a hard packet limit: the discipline the
 // paper identifies as the major source of sub-RTT loss burstiness. When the
 // buffer is full every arriving packet is dropped until a departure makes
@@ -83,6 +95,17 @@ func NewDropTail(limit int) *DropTail {
 	q := &DropTail{Limit: limit}
 	q.seed(limit)
 	return q
+}
+
+// Reset rewinds the queue to its just-built (empty) state and retunes the
+// capacity, so a reused world can change buffer sizes between runs without
+// rebuilding. The caller drains queued packets first (Port.Reset).
+func (q *DropTail) Reset(limit int) {
+	if limit <= 0 {
+		panic("netsim: DropTail limit must be positive")
+	}
+	q.fifo.reset()
+	q.Limit = limit
 }
 
 // Enqueue implements Queue.

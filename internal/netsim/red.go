@@ -104,6 +104,46 @@ func NewRED(cfg REDConfig, rng *rand.Rand) *RED {
 	return q
 }
 
+// Reset rewinds the queue to the state NewRED(cfg, sim.NewRand(seed))
+// would produce, reusing the existing store and random generator: the
+// EWMA, uniformization count, idle clock and persistent-ECN window zero
+// out, the tunables retake cfg (with the same Floyd defaults), and the
+// random stream reseeds — so a reset RED queue is bit-identical to a
+// freshly built one. The caller drains queued packets first (Port.Reset).
+func (q *RED) Reset(cfg REDConfig, seed int64) {
+	if cfg.Limit <= 0 {
+		panic("netsim: RED limit must be positive")
+	}
+	q.fifo.reset()
+	q.Limit = cfg.Limit
+	q.MinTh = cfg.MinTh
+	q.MaxTh = cfg.MaxTh
+	q.MaxP = cfg.MaxP
+	q.Wq = cfg.Wq
+	q.ECN = cfg.ECN
+	q.Gentle = cfg.Gentle
+	q.PersistMark = cfg.PersistMark
+	q.ptc = cfg.PacketsPerSecond
+	if q.Wq == 0 {
+		q.Wq = 0.002
+	}
+	if q.MaxP == 0 {
+		q.MaxP = 0.1
+	}
+	if q.MinTh == 0 {
+		q.MinTh = 5
+	}
+	if q.MaxTh == 0 {
+		q.MaxTh = 3 * q.MinTh
+	}
+	q.markUntil = 0
+	q.avg = 0
+	q.count = 0
+	q.idleStart = -1
+	q.Marked = 0
+	q.rng.Seed(seed)
+}
+
 func (q *RED) noteTime(nowSec float64) {
 	if q.idleStart >= 0 && q.ptc > 0 {
 		// Queue has been idle: decay avg as if (idle · ptc) empty slots went by.

@@ -16,6 +16,16 @@ type event struct {
 	afn  func(any)
 	arg  any
 	next *event // freelist link
+
+	// Wheel residency backref. wlevel is 0 when the event lives in the
+	// heap (or nowhere), 1/2 for wheel level 0/1; wslot and wpos locate
+	// its entry so Cancel can swap-remove it in O(1). Eager removal keeps
+	// wheel slots tombstone-free — cancel-heavy timer patterns (TCP RTOs
+	// rearmed every ACK) would otherwise pile dead entries into far-future
+	// slots until the clock reached them.
+	wlevel uint8
+	wslot  uint8
+	wpos   int32
 }
 
 // Timer is a cancelable handle to a scheduled callback. The zero value is
@@ -60,6 +70,21 @@ func entryLess(a, b entry) bool {
 	return a.seq < b.seq
 }
 
+// Timing-wheel geometry. Two fixed levels of 256 slots front the heap:
+// level 0 buckets events by 2^16 ns (~65.5 µs) ticks — a horizon of
+// ~16.8 ms, which covers per-packet serialize/deliver timers and most
+// RTT-scale timeouts — and level 1 buckets by 2^24 ns (~16.8 ms) ticks for
+// a horizon of ~4.29 s, which covers retransmission timers. Events beyond
+// the level-1 horizon, or due in an already-flushed tick, go straight to
+// the heap.
+const (
+	wheelBits  = 8
+	wheelSlots = 1 << wheelBits // 256 slots per level
+	wheelMask  = wheelSlots - 1
+	tick0Bits  = 16 // level-0 granularity: 2^16 ns
+	tick1Bits  = tick0Bits + wheelBits
+)
+
 // Scheduler is a deterministic discrete-event executor. The zero value is
 // ready to use. Scheduler is not safe for concurrent use: the simulated
 // world is single-threaded by design, which is what makes runs reproducible.
@@ -67,11 +92,17 @@ func entryLess(a, b entry) bool {
 // many CPUs, run independent Schedulers in parallel (see internal/exp), one
 // per replication, never one Scheduler across goroutines.
 //
-// The queue is a value-based 4-ary min-heap ordered by (time, insertion
-// sequence): flatter than a binary heap (fewer cache-missing levels per
-// sift) and free of the container/heap interface dispatch. Event structs
-// come from a per-world freelist and fire-or-cancel recycles them, so the
-// steady-state scheduling path performs no allocation.
+// The core queue is a value-based 4-ary min-heap ordered by (time,
+// insertion sequence): flatter than a binary heap (fewer cache-missing
+// levels per sift) and free of the container/heap interface dispatch. A
+// two-level hierarchical timing wheel fronts the heap: near-future events
+// land in fixed slots with O(1) insert, and a slot's entries are flushed
+// into the heap only when the clock reaches its tick. Because every event
+// ultimately fires through the heap's (time, sequence) merge, the global
+// firing order is exactly what a heap-only scheduler produces — the wheel
+// changes cost, never order. Event structs come from a per-world freelist
+// and fire-or-cancel recycles them, so the steady-state scheduling path
+// performs no allocation.
 type Scheduler struct {
 	now    Time
 	seq    uint64
@@ -80,6 +111,51 @@ type Scheduler struct {
 	fired  uint64
 	halted bool
 	free   *event
+
+	// Timing wheel state. cur0 is the next unflushed level-0 tick
+	// (absolute, = time >> tick0Bits); cur1 the next uncascaded level-1
+	// tick. count0/count1 track stored entries per level, tombstones
+	// included, so emptiness checks are O(1). Slot slices keep their
+	// capacity across flushes and Resets.
+	cur0, cur1     int64
+	count0, count1 int
+	wheelInit      bool
+	slots0         [wheelSlots][]entry
+	slots1         [wheelSlots][]entry
+
+	// drain, when set, receives the argument of every live argument-carrying
+	// event that Reset abandons. See SetResetDrain.
+	drain func(any)
+}
+
+// SetResetDrain installs a hook that Reset hands the argument of every
+// still-scheduled AtArg/AfterArg event to, before recycling the event.
+// Without it, resetting a world mid-flight strands whatever the pending
+// events were carrying — in netsim terms, every packet that was riding a
+// propagation or serialization event leaks to the garbage collector and
+// the world's packet pool refills from the allocator on the next run. The
+// arena wires this to the packet pool (recovered values are recycled, not
+// replayed), which is what keeps back-to-back replications allocation-free
+// in steady state. Cancelled events never reach the hook; their arguments
+// were dropped at Cancel time.
+func (s *Scheduler) SetResetDrain(fn func(any)) { s.drain = fn }
+
+// initSlots carves every slot's initial capacity out of one backing array,
+// so a cold scheduler pays one allocation for the whole wheel instead of
+// one per touched slot. Slots that outgrow their chunk reallocate
+// individually and keep the larger capacity from then on.
+func (s *Scheduler) initSlots() {
+	const per = 32
+	backing := make([]entry, wheelSlots*2*per)
+	for i := range s.slots0 {
+		off := i * per
+		s.slots0[i] = backing[off : off : off+per]
+	}
+	for i := range s.slots1 {
+		off := (wheelSlots + i) * per
+		s.slots1[i] = backing[off : off : off+per]
+	}
+	s.wheelInit = true
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -98,16 +174,45 @@ func (s *Scheduler) Reset() {
 		// generation, so a duplicate tombstone entry cannot match again);
 		// tombstones are already freelisted.
 		if en.e.gen == en.gen {
+			if s.drain != nil && en.e.arg != nil {
+				s.drain(en.e.arg)
+			}
 			s.release(en.e)
 		}
 		*en = entry{}
 	}
 	s.queue = s.queue[:0]
+	for i := range s.slots0 {
+		s.resetSlot(&s.slots0[i])
+	}
+	for i := range s.slots1 {
+		s.resetSlot(&s.slots1[i])
+	}
+	s.cur0 = 0
+	s.cur1 = 0
+	s.count0 = 0
+	s.count1 = 0
 	s.now = 0
 	s.seq = 0
 	s.live = 0
 	s.fired = 0
 	s.halted = false
+}
+
+// resetSlot releases a wheel slot's live events and truncates it in place,
+// keeping the slice's capacity for the next run.
+func (s *Scheduler) resetSlot(sl *[]entry) {
+	for i := range *sl {
+		en := &(*sl)[i]
+		if en.e.gen == en.gen {
+			if s.drain != nil && en.e.arg != nil {
+				s.drain(en.e.arg)
+			}
+			s.release(en.e)
+		}
+		*en = entry{}
+	}
+	*sl = (*sl)[:0]
 }
 
 // Now reports the current simulated time.
@@ -122,11 +227,22 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // maintained counter, not a scan: safe to call per event.
 func (s *Scheduler) Pending() int { return s.live }
 
-// alloc takes an event from the freelist, or grows it.
+// eventSlab is how many events an empty freelist allocates at once: a
+// world's working set of concurrent timers is built one slab allocation
+// per 64 events instead of one each. Slabs pin nothing — released events
+// clear their callback and argument references.
+const eventSlab = 64
+
+// alloc takes an event from the freelist, or grows it by a slab.
 func (s *Scheduler) alloc() *event {
 	e := s.free
 	if e == nil {
-		return &event{}
+		slab := make([]event, eventSlab)
+		for i := range slab[1:] {
+			slab[1+i].next = s.free
+			s.free = &slab[1+i]
+		}
+		return &slab[0]
 	}
 	s.free = e.next
 	e.next = nil
@@ -141,6 +257,7 @@ func (s *Scheduler) release(e *event) {
 	e.fn = nil
 	e.afn = nil
 	e.arg = nil
+	e.wlevel = 0
 	e.next = s.free
 	s.free = e
 }
@@ -150,15 +267,145 @@ func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
 	}
+	// When both wheels are empty the clock can outrun the cursors (heap
+	// events fire without flushing anything). Re-base then, so near-future
+	// events keep landing in wheel slots instead of degrading to the heap.
+	if s.count0+s.count1 == 0 {
+		if tk := int64(s.now) >> tick0Bits; tk > s.cur0 {
+			s.cur0 = tk
+			s.cur1 = tk >> wheelBits
+		}
+	}
 	e := s.alloc()
 	e.t = t
 	e.fn = fn
 	e.afn = afn
 	e.arg = arg
-	s.push(entry{t: t, seq: s.seq, gen: e.gen, e: e})
+	s.place(entry{t: t, seq: s.seq, gen: e.gen, e: e})
 	s.seq++
 	s.live++
 	return Timer{e: e, gen: e.gen}
+}
+
+// place routes an entry to a wheel slot or the heap by its due time.
+// Entries in an already-flushed level-0 tick must go to the heap (their
+// slot will not be visited again before they are due); entries within the
+// level-0 horizon get an O(1) slot append; entries within the level-1
+// horizon get a coarse slot that cascades into level 0 later; everything
+// farther out falls back to the heap.
+func (s *Scheduler) place(en entry) {
+	tk0 := int64(en.t) >> tick0Bits
+	if tk0 < s.cur0 {
+		en.e.wlevel = 0
+		s.push(en)
+		return
+	}
+	if !s.wheelInit {
+		s.initSlots()
+	}
+	if tk0-s.cur0 < wheelSlots {
+		i := tk0 & wheelMask
+		en.e.wlevel = 1
+		en.e.wslot = uint8(i)
+		en.e.wpos = int32(len(s.slots0[i]))
+		s.slots0[i] = append(s.slots0[i], en)
+		s.count0++
+		return
+	}
+	tk1 := int64(en.t) >> tick1Bits
+	if tk1 >= s.cur1 && tk1-s.cur1 < wheelSlots {
+		i := tk1 & wheelMask
+		en.e.wlevel = 2
+		en.e.wslot = uint8(i)
+		en.e.wpos = int32(len(s.slots1[i]))
+		s.slots1[i] = append(s.slots1[i], en)
+		s.count1++
+		return
+	}
+	en.e.wlevel = 0
+	s.push(en)
+}
+
+// wheelRemove eagerly swap-removes a still-scheduled event's entry from
+// its wheel slot, fixing up the backref of whichever live entry the swap
+// moved. Wheel slots therefore never hold tombstones; only heap entries
+// are deleted lazily.
+func (s *Scheduler) wheelRemove(e *event) {
+	var sl *[]entry
+	if e.wlevel == 1 {
+		sl = &s.slots0[e.wslot]
+		s.count0--
+	} else {
+		sl = &s.slots1[e.wslot]
+		s.count1--
+	}
+	q := *sl
+	last := len(q) - 1
+	pos := int(e.wpos)
+	if pos != last {
+		q[pos] = q[last]
+		q[pos].e.wpos = int32(pos)
+	}
+	q[last] = entry{}
+	*sl = q[:last]
+	e.wlevel = 0
+}
+
+// advance flushes expired wheel slots into the heap until the heap's head
+// (if any) provably precedes every wheel entry — i.e. it is earlier than
+// the first unflushed tick — or the wheels drain. All firing happens from
+// the heap, so this is the only place wheel entries change residence.
+func (s *Scheduler) advance() {
+	for s.count0+s.count1 > 0 {
+		if len(s.queue) > 0 && s.queue[0].t < Time(s.cur0<<tick0Bits) {
+			return
+		}
+		if s.cur0>>wheelBits == s.cur1 {
+			s.cascade()
+			continue
+		}
+		if s.count0 == 0 {
+			// Nothing left at level 0: jump straight to the next
+			// level-1 boundary instead of walking empty slots.
+			s.cur0 = s.cur1 << wheelBits
+			continue
+		}
+		sl := s.slots0[s.cur0&wheelMask]
+		if n := len(sl); n > 0 {
+			// Every entry is live (Cancel removes eagerly); hand each to
+			// the heap, which owns ordering from here on.
+			for i := range sl {
+				en := sl[i]
+				sl[i] = entry{}
+				en.e.wlevel = 0
+				s.push(en)
+			}
+			s.slots0[s.cur0&wheelMask] = sl[:0]
+			s.count0 -= n
+		}
+		s.cur0++
+	}
+}
+
+// cascade drains the next level-1 slot into the level-0 slots that now
+// cover its tick. Entries in the slot are always exactly due — the insert
+// window (tick ≥ cur1) and in-order cascading make a mixed-wrap slot
+// impossible — but re-placement goes through place anyway, which also
+// handles the defensive cases (heap fallback) for free.
+func (s *Scheduler) cascade() {
+	i := s.cur1 & wheelMask
+	sl := s.slots1[i]
+	// Truncate before re-placing so a (defensive) re-place into this same
+	// slot would append after the drained prefix instead of being lost to
+	// a trailing truncation; reads stay ahead of any such writes.
+	s.slots1[i] = sl[:0]
+	s.count1 -= len(sl)
+	s.cur1++
+	for j := range sl {
+		en := sl[j]
+		sl[j] = entry{}
+		s.place(en)
+	}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
@@ -191,12 +438,17 @@ func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) Timer {
 
 // Cancel removes the timer's callback from the queue if it has not fired.
 // Cancelling an inert (zero, fired, or already cancelled) timer is a no-op.
-// The removal is lazy — O(1) here, with the orphaned heap entry discarded
-// when it reaches the top — so cancel-heavy workloads (TCP retransmission
-// timers rearm on every ACK) cost no sift-and-fix work.
+// Removal is O(1) either way: a heap-resident event is deleted lazily (the
+// orphaned entry is discarded when it reaches the top), while a
+// wheel-resident one is swap-removed from its slot immediately — so
+// cancel-heavy workloads (TCP retransmission timers rearm on every ACK)
+// cost no sift-and-fix work and leave no debris in far-future slots.
 func (s *Scheduler) Cancel(tm Timer) {
 	if tm.e == nil || tm.e.gen != tm.gen {
 		return
+	}
+	if tm.e.wlevel != 0 {
+		s.wheelRemove(tm.e)
 	}
 	s.release(tm.e)
 	s.live--
@@ -209,7 +461,11 @@ func (s *Scheduler) Halt() { s.halted = true }
 // Step executes the single earliest pending event. It reports false when
 // the queue holds no live events.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
+	for {
+		s.advance()
+		if len(s.queue) == 0 {
+			return false
+		}
 		en := s.pop()
 		e := en.e
 		if e.gen != en.gen {
@@ -227,7 +483,6 @@ func (s *Scheduler) Step() bool {
 		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue drains or Halt is called.
@@ -259,14 +514,17 @@ func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 // peekTime reports the time of the earliest live event, discarding any
 // tombstones that have reached the top.
 func (s *Scheduler) peekTime() (Time, bool) {
-	for len(s.queue) > 0 {
+	for {
+		s.advance()
+		if len(s.queue) == 0 {
+			return 0, false
+		}
 		en := s.queue[0]
 		if en.e.gen == en.gen {
 			return en.t, true
 		}
 		s.pop()
 	}
-	return 0, false
 }
 
 // push inserts an entry into the 4-ary heap (sift up).

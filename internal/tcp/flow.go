@@ -27,6 +27,26 @@ func NewPairFlow(sched *sim.Scheduler, snd, rcv *netsim.Node, flowID int, cfg Co
 	return &Flow{Sender: s, Receiver: r}
 }
 
+// ResetPair rewinds a flow built by NewPairFlow for another run on a reset
+// world: the sender and receiver rewind to their just-built state (see
+// Sender.Reset, Receiver.Reset) and re-bind onto the given nodes, which a
+// world reset stripped of their transport bindings. The nodes are normally
+// the same ones the flow was built on (a cached world keeps its nodes),
+// but any pair from the same scheduler works. The scheduler must have been
+// reset alongside the world.
+func (f *Flow) ResetPair(snd, rcv *netsim.Node, flowID int, cfg Config) {
+	cfg.Flow = flowID
+	cfg.Src = snd.Addr
+	cfg.Dst = rcv.Addr
+
+	f.Sender.Reset(cfg)
+	f.Sender.SetOut(snd)
+	f.Receiver.Reset(rcv, flowID, cfg.Dst, cfg.Src, cfg.AckSize)
+	f.Receiver.SetPool(cfg.Pool)
+	rcv.Bind(flowID, f.Receiver)
+	snd.Bind(flowID, f.Sender)
+}
+
 // NewDumbbellFlow wires a TCP flow onto pair i of a dumbbell. The supplied
 // cfg's Flow/Src/Dst fields are filled in; other fields are respected.
 func NewDumbbellFlow(d *netsim.Dumbbell, i int, flowID int, cfg Config) *Flow {

@@ -53,6 +53,35 @@ func NewReceiver(sched *sim.Scheduler, out netsim.Handler, flow, src, dst, ackSi
 	}
 }
 
+// Reset rewinds the receiver to the state NewReceiver(sched, out, flow,
+// src, dst, ackSize) would produce, keeping the scheduler and the
+// out-of-order map's buckets (cleared, not reallocated — reusing a warm
+// receiver makes the per-packet hole tracking allocation-free after the
+// first run).
+func (r *Receiver) Reset(out netsim.Handler, flow, src, dst, ackSize int) {
+	if out == nil {
+		panic("tcp: Receiver.Reset requires an output")
+	}
+	if ackSize <= 0 {
+		ackSize = 40
+	}
+	r.out = out
+	r.flow = flow
+	r.src = src
+	r.dst = dst
+	r.ack = ackSize
+	r.cumAck = 0
+	clear(r.ooo)
+	r.ceSeen = false
+	r.pktID = 0
+	r.pool = nil
+	r.Received = 0
+	r.Duplicates = 0
+	r.AcksOut = 0
+	r.BytesIn = 0
+	r.OnData = nil
+}
+
 // CumAck reports the next expected sequence number.
 func (r *Receiver) CumAck() int64 { return r.cumAck }
 

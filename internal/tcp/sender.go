@@ -205,6 +205,46 @@ func NewSender(sched *sim.Scheduler, out netsim.Handler, cfg Config) *Sender {
 	return s
 }
 
+// Reset rewinds the sender to the state NewSender(sched, out, cfg) would
+// produce, keeping the scheduler, output handler and preallocated timer
+// callbacks. Callers must have reset the owning scheduler first (the old
+// timer events were cancelled wholesale there; the handles are zeroed here
+// regardless). World-reuse paths use this to run back-to-back transfers
+// without reconstructing their flows.
+func (s *Sender) Reset(cfg Config) {
+	cfg.fillDefaults()
+	s.cfg = cfg
+	s.cwnd = cfg.InitialCwnd
+	s.ssthresh = cfg.InitialSSThresh
+	s.nextSeq = 0
+	s.maxSent = 0
+	s.cumAck = 0
+	s.dupAcks = 0
+	s.inRec = false
+	s.recover = 0
+	s.recoverFrom = 0
+	s.est = rttEstimator{MinRTO: cfg.MinRTO, MaxRTO: cfg.MaxRTO, InitialRTO: cfg.InitialRTO}
+	s.backoff = 0
+	s.rtoTimer = sim.Timer{}
+	s.paceTimer = sim.Timer{}
+	s.timedSeq = -1
+	s.timedAt = 0
+	s.baseRTT = 0
+	s.lastVegas = 0
+	s.vegasSlow = cfg.Variant == Vegas
+	s.vegasParity = false
+	s.lastECNCut = 0
+	s.pktID = 0
+	s.done = false
+	s.Sent = 0
+	s.Retransmits = 0
+	s.AcksIn = 0
+	s.CongestionEvents = 0
+	s.Timeouts = 0
+	s.CompletedAt = 0
+	s.OnComplete = nil
+}
+
 // vegas alpha/beta thresholds in packets of estimated backlog.
 const (
 	vegasAlpha = 2.0

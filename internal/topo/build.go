@@ -22,19 +22,25 @@ type PortInfo struct {
 // onto one scheduler, with static shortest-path routes installed and each
 // flow's base RTT precomputed. A Network is confined to the goroutine that
 // owns its scheduler, like every other simulated component.
+//
+// Every Network is an instance of a compiled Program (Build is
+// Compile+Instantiate); the addr and next maps are the program's, shared
+// read-only across instances. Reset rewinds the instance for reuse.
 type Network struct {
 	// Sched is the scheduler every element of this world runs on.
 	Sched *sim.Scheduler
 
 	spec  Spec
+	prog  *Program
 	nodes map[string]*netsim.Node
-	addr  map[string]int
+	addr  map[string]int // owned by prog; read-only here
 	ports map[edge]*netsim.Port
 	dirs  map[edge]Dir
-	mods  map[edge]*netsim.LinkModulator // directions with Dynamics, started
-	edges []edge                         // directed-port creation order
-	next  map[edge]string                // (src,dst) -> next-hop node name
-	rtts  []sim.Duration                 // per-flow base RTT
+	mods  map[edge]*netsim.LinkModulator     // directions with Dynamics, started
+	ges   map[edge]*lossmodel.GilbertElliott // directions with Loss
+	edges []edge                             // directed-port creation order
+	next  map[edge]string                    // owned by prog; read-only here
+	rtts  []sim.Duration                     // per-flow base RTT
 }
 
 // Build wires spec onto sched. RED queues declared in the spec draw their
@@ -42,99 +48,19 @@ type Network struct {
 // built world is a pure function of (spec, seed). It returns an error —
 // not a panic — on an inconsistent spec, a disconnected flow pair, or an
 // unroutable topology, naming the offending element.
+//
+// Build is Compile followed by Instantiate. Callers that stamp out or
+// rewind many worlds of the same shape should hold the *Program (or go
+// through NetworkIn, which caches one per arena) to skip the compile.
 func Build(sched *sim.Scheduler, spec Spec, seed int64) (*Network, error) {
 	if sched == nil {
 		return nil, fmt.Errorf("topo: Build requires a scheduler")
 	}
-	if err := spec.validate(); err != nil {
+	p, err := Compile(spec)
+	if err != nil {
 		return nil, err
 	}
-
-	n := &Network{
-		Sched: sched,
-		spec:  spec,
-		nodes: make(map[string]*netsim.Node, len(spec.Nodes)),
-		addr:  make(map[string]int, len(spec.Nodes)),
-		ports: make(map[edge]*netsim.Port, 2*len(spec.Links)),
-		dirs:  make(map[edge]Dir, 2*len(spec.Links)),
-		// Every reachable (src, dst) pair gets a next-hop entry; sizing
-		// the map up front keeps route installation growth-free.
-		next: make(map[edge]string, len(spec.Nodes)*(len(spec.Nodes)-1)),
-	}
-
-	// Addresses: explicit pins first, then the lowest unused positive
-	// address per remaining node, in declaration order.
-	used := make(map[int]bool, len(spec.Nodes))
-	for _, ns := range spec.Nodes {
-		if ns.Addr != 0 {
-			n.addr[ns.Name] = ns.Addr
-			used[ns.Addr] = true
-		}
-	}
-	nextAddr := 1
-	for _, ns := range spec.Nodes {
-		if ns.Addr == 0 {
-			for used[nextAddr] {
-				nextAddr++
-			}
-			n.addr[ns.Name] = nextAddr
-			used[nextAddr] = true
-		}
-		n.nodes[ns.Name] = netsim.NewNode(sched, n.addr[ns.Name])
-	}
-
-	// Ports: one per direction, in link order (A→B then B→A), each with
-	// its own queue, loss-process and modulator instance. Every direction
-	// derives one position seed; the queue consumes it directly (the
-	// pre-dynamics seeding, kept bit-identical) and the loss chain and
-	// modulator draw SubSeed children of it, so adding dynamics to one
-	// link never perturbs another link's streams.
-	for i, l := range spec.Links {
-		ab, ba := l.AB, l.mirrored()
-		for _, d := range []struct {
-			e   edge
-			dir Dir
-			tag int64
-		}{
-			{edge{l.A, l.B}, ab, int64(2 * i)},
-			{edge{l.B, l.A}, ba, int64(2*i + 1)},
-		} {
-			dirSeed := sim.SubSeed(seed, d.tag)
-			q := buildQueue(d.dir.Queue, dirSeed)
-			link := netsim.NewLink(d.dir.Rate, d.dir.Delay, n.nodes[d.e.to])
-			port := netsim.NewPort(sched, q, link)
-			if ls := d.dir.Loss; ls != nil {
-				ge := lossmodel.NewGilbertElliott(ls.params(), sim.NewRand(sim.SubSeed(dirSeed, 1)))
-				port.LinkLoss = ge.Lost
-			}
-			if dyn := d.dir.Dynamics; dyn != nil {
-				if n.mods == nil {
-					n.mods = make(map[edge]*netsim.LinkModulator)
-				}
-				n.mods[d.e] = buildDynamics(sched, link, dyn, sim.SubSeed(dirSeed, 2))
-			}
-			n.ports[d.e] = port
-			n.dirs[d.e] = d.dir
-			n.edges = append(n.edges, d.e)
-		}
-	}
-
-	n.computeRoutes()
-
-	// Flow RTTs double as the reachability check.
-	n.rtts = make([]sim.Duration, len(spec.Flows))
-	for i, f := range spec.Flows {
-		fwd, err := n.pathDelay(f.From, f.To)
-		if err != nil {
-			return nil, fmt.Errorf("topo: %s flow %d (%s): %w", spec.Name, i, flowName(f), err)
-		}
-		rev, err := n.pathDelay(f.To, f.From)
-		if err != nil {
-			return nil, fmt.Errorf("topo: %s flow %d (%s): %w", spec.Name, i, flowName(f), err)
-		}
-		n.rtts[i] = fwd + rev
-	}
-	return n, nil
+	return p.Instantiate(sched, seed)
 }
 
 func flowName(f FlowSpec) string {
@@ -154,76 +80,25 @@ func buildQueue(q QueueSpec, seed int64) netsim.Queue {
 		limit = DefaultQueueLimit
 	}
 	if r := q.RED; r != nil {
-		return netsim.NewRED(netsim.REDConfig{
-			Limit:            limit,
-			MinTh:            r.MinTh,
-			MaxTh:            r.MaxTh,
-			MaxP:             r.MaxP,
-			Wq:               r.Wq,
-			ECN:              r.ECN,
-			Gentle:           r.Gentle,
-			PersistMark:      r.PersistMark,
-			PacketsPerSecond: r.PacketsPerSecond,
-		}, sim.NewRand(seed))
+		return netsim.NewRED(redConfig(r, limit), sim.NewRand(seed))
 	}
 	return netsim.NewDropTail(limit)
 }
 
-// computeRoutes installs static next-hop routes on every node for every
-// reachable destination, using breadth-first shortest paths. Ties are
-// broken deterministically by link declaration order, so two builds of the
-// same Spec always route identically.
-//
-// The BFS works on dense node indices with parent/queue buffers reused
-// across sources — replication sweeps rebuild their worlds constantly, so
-// route computation must not allocate a map per source the way the naive
-// string-keyed version did.
-func (n *Network) computeRoutes() {
-	nn := len(n.spec.Nodes)
-	names := make([]string, nn)
-	index := make(map[string]int, nn)
-	for i, ns := range n.spec.Nodes {
-		names[i] = ns.Name
-		index[ns.Name] = i
-	}
-
-	// Adjacency in link-declaration order, as index lists.
-	adj := make([][]int, nn)
-	for _, l := range n.spec.Links {
-		a, b := index[l.A], index[l.B]
-		adj[a] = append(adj[a], b)
-		adj[b] = append(adj[b], a)
-	}
-
-	parent := make([]int, nn)
-	queue := make([]int, 0, nn)
-	for src := 0; src < nn; src++ {
-		n.nodes[names[src]].ReserveRoutes(nn - 1)
-		for i := range parent {
-			parent[i] = -1
-		}
-		parent[src] = src
-		queue = append(queue[:0], src)
-		// The BFS discovery order past the head IS the visit order the
-		// string version tracked separately.
-		for head := 0; head < len(queue); head++ {
-			for _, nb := range adj[queue[head]] {
-				if parent[nb] < 0 {
-					parent[nb] = queue[head]
-					queue = append(queue, nb)
-				}
-			}
-		}
-		srcName := names[src]
-		for _, dst := range queue[1:] {
-			// First hop: walk the parent chain from dst back to src.
-			hop := dst
-			for parent[hop] != src {
-				hop = parent[hop]
-			}
-			n.next[edge{srcName, names[dst]}] = names[hop]
-			n.nodes[srcName].AddRoute(n.addr[names[dst]], n.ports[edge{srcName, names[hop]}])
-		}
+// redConfig translates a REDSpec plus resolved limit into netsim's config,
+// shared by fresh builds (buildQueue) and in-place rewinds (Network.Reset)
+// so both paths configure RED identically.
+func redConfig(r *REDSpec, limit int) netsim.REDConfig {
+	return netsim.REDConfig{
+		Limit:            limit,
+		MinTh:            r.MinTh,
+		MaxTh:            r.MaxTh,
+		MaxP:             r.MaxP,
+		Wq:               r.Wq,
+		ECN:              r.ECN,
+		Gentle:           r.Gentle,
+		PersistMark:      r.PersistMark,
+		PacketsPerSecond: r.PacketsPerSecond,
 	}
 }
 

@@ -2,7 +2,9 @@ package topo
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -86,19 +88,76 @@ type Dumbbell struct {
 // builder. It panics on an invalid config, matching netsim.NewDumbbell's
 // contract (a malformed dumbbell is a programming error in the caller).
 func NewDumbbell(sched *sim.Scheduler, cfg netsim.DumbbellConfig) *Dumbbell {
+	return NewDumbbellIn(nil, sched, cfg)
+}
+
+// NewDumbbellIn is NewDumbbell through the arena's world cache (see
+// NetworkIn): with a non-nil arena the dumbbell's compiled program and
+// instantiated world are reused across runs, reset instead of rebuilt.
+// The Spec itself is cached per pair count too, retuned in place instead
+// of re-derived — a dumbbell's structure is a pure function of how many
+// pairs it has, and rebuilding the node-name strings and link slices was
+// most of what a warm run still paid. Dumbbells with Custom queues are
+// never cached (neither spec nor world).
+func NewDumbbellIn(a *exp.Arena, sched *sim.Scheduler, cfg netsim.DumbbellConfig) *Dumbbell {
 	if cfg.Buffer <= 0 && cfg.Queue == nil {
 		panic("topo: dumbbell needs a buffer size or an explicit queue")
 	}
 	if len(cfg.AccessDelays) == 0 {
 		panic("topo: dumbbell needs at least one endpoint pair")
 	}
-	net, err := Build(sched, DumbbellSpec(cfg), 0)
+	var spec Spec
+	if a != nil && cfg.Queue == nil && cfg.ReverseQueue == nil {
+		key := "topo/dumbspec/" + strconv.Itoa(len(cfg.AccessDelays))
+		if v, ok := a.Scratch(key).(*Spec); ok {
+			retuneDumbbellSpec(v, cfg)
+			spec = *v
+		} else {
+			spec = DumbbellSpec(cfg)
+			s := spec
+			a.SetScratch(key, &s)
+		}
+	} else {
+		spec = DumbbellSpec(cfg)
+	}
+	net, err := NetworkIn(a, sched, spec, 0)
 	if err != nil {
 		panic(fmt.Sprintf("topo: dumbbell spec did not build: %v", err))
 	}
+	return WrapDumbbell(net)
+}
+
+// retuneDumbbellSpec rewrites the parametric fields of a cached dumbbell
+// spec in place to match cfg, exactly as DumbbellSpec would set them:
+// bottleneck rate/delay/buffer, the generous reverse buffer, and the
+// per-pair access rate and delays. The structure — nodes, link endpoints
+// and order, flow pairs, queue discipline kinds — is untouched, which is
+// precisely the invariant Network.Reset requires. The caller guarantees
+// cfg has no Custom queues and the same pair count the spec was built
+// with. The spec's slices may be aliased by the cached world
+// (Network.Reset re-adopts the spec each run), so this never reslices,
+// only overwrites Dir values.
+func retuneDumbbellSpec(s *Spec, cfg netsim.DumbbellConfig) {
+	rev := QueueSpec{Limit: cfg.Buffer}
+	if rev.Limit < 1024 {
+		rev.Limit = 1024
+	}
+	s.Links[0].AB = Dir{Rate: cfg.BottleneckRate, Delay: cfg.BottleneckDelay, Queue: QueueSpec{Limit: cfg.Buffer}}
+	s.Links[0].BA = Dir{Rate: cfg.BottleneckRate, Delay: cfg.BottleneckDelay, Queue: rev}
+	for i, delay := range cfg.AccessDelays {
+		access := Dir{Rate: cfg.AccessRate, Delay: delay / 2, Queue: QueueSpec{Limit: DefaultQueueLimit}}
+		s.Links[1+2*i].AB = access
+		s.Links[2+2*i].AB = access
+	}
+}
+
+// WrapDumbbell wraps a network built from a DumbbellSpec in the dumbbell
+// accessor surface. It panics if the network lacks the dumbbell's router
+// nodes.
+func WrapDumbbell(net *Network) *Dumbbell {
 	return &Dumbbell{
 		Net:         net,
-		Sched:       sched,
+		Sched:       net.Sched,
 		LeftRouter:  net.Node(leftRouterName),
 		RightRouter: net.Node(rightRouterName),
 		Forward:     net.Port(leftRouterName, rightRouterName),

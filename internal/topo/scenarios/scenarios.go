@@ -228,7 +228,7 @@ func runDumbbell(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, e
 	meanRTT /= flows
 	buffer := bufferFor(rate, meanRTT, cfg.PktSize)
 
-	d := topo.NewDumbbell(w.sched, netsim.DumbbellConfig{
+	d := topo.NewDumbbellIn(w.arena, w.sched, netsim.DumbbellConfig{
 		BottleneckRate: rate,
 		AccessRate:     1_000_000_000,
 		AccessDelays:   delays,
@@ -291,7 +291,7 @@ func runParkingLot(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult,
 		spec.Flows = append(spec.Flows, topo.FlowSpec{From: snd, To: rcv})
 	}
 
-	net, err := topo.Build(w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +373,7 @@ func runAccessTree(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult,
 		spec.Flows = append(spec.Flows, topo.FlowSpec{From: leaf, To: "server"})
 	}
 
-	net, err := topo.Build(w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
 	if err != nil {
 		return nil, err
 	}
@@ -459,7 +459,7 @@ func runHeteroMesh(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult,
 		})
 	}
 
-	net, err := topo.Build(w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
 	if err != nil {
 		return nil, err
 	}

@@ -186,45 +186,8 @@ func (s Spec) validate() error {
 			return fmt.Errorf("topo: %s has parallel links between %q and %q", name, l.A, l.B)
 		}
 		seen[[2]string{l.A, l.B}] = true
-		if l.AB.Rate <= 0 {
-			return fmt.Errorf("topo: %s link %q→%q needs a positive rate", name, l.A, l.B)
-		}
-		// A reverse direction is either fully absent (mirrors AB) or has
-		// its own rate; a BA with delay/queue but no rate would be
-		// silently discarded, hiding an intended asymmetric link.
-		if l.BA.Rate == 0 &&
-			(l.BA.Delay != 0 || l.BA.Queue.Limit != 0 || l.BA.Queue.RED != nil || l.BA.Queue.Custom != nil ||
-				l.BA.Dynamics != nil || l.BA.Loss != nil) {
-			return fmt.Errorf("topo: %s link %q→%q reverse direction sets delay/queue/dynamics but no rate", name, l.B, l.A)
-		}
-		for _, d := range []struct {
-			dir  Dir
-			a, b string
-		}{{l.AB, l.A, l.B}, {l.mirrored(), l.B, l.A}} {
-			if d.dir.Rate <= 0 {
-				return fmt.Errorf("topo: %s link %q→%q needs a positive rate", name, d.a, d.b)
-			}
-			if d.dir.Delay < 0 {
-				return fmt.Errorf("topo: %s link %q→%q has negative delay", name, d.a, d.b)
-			}
-			if d.dir.Queue.Limit < 0 {
-				return fmt.Errorf("topo: %s link %q→%q has negative queue limit", name, d.a, d.b)
-			}
-			if r := d.dir.Queue.RED; r != nil && d.dir.Queue.Custom == nil {
-				if r.MinTh < 0 || r.MaxTh < r.MinTh || r.MaxP <= 0 || r.MaxP > 1 {
-					return fmt.Errorf("topo: %s link %q→%q has inconsistent RED thresholds", name, d.a, d.b)
-				}
-			}
-			if dyn := d.dir.Dynamics; dyn != nil {
-				if err := dyn.validate(); err != nil {
-					return fmt.Errorf("topo: %s link %q→%q: %w", name, d.a, d.b, err)
-				}
-			}
-			if ls := d.dir.Loss; ls != nil {
-				if err := ls.params().Validate(); err != nil {
-					return fmt.Errorf("topo: %s link %q→%q: %w", name, d.a, d.b, err)
-				}
-			}
+		if err := validateLinkParams(name, l); err != nil {
+			return err
 		}
 	}
 	for i, f := range s.Flows {
@@ -233,6 +196,72 @@ func (s Spec) validate() error {
 		}
 		if f.From == f.To {
 			return fmt.Errorf("topo: %s flow %d loops on node %q", name, i, f.From)
+		}
+	}
+	return nil
+}
+
+// validateLinkParams checks one link's parametric fields — rates, delays,
+// queue limits, RED thresholds, dynamics and loss parameters. It is the
+// half of validation a Reset must repeat (parameters may change between
+// resets); the structural half is covered by Program.structuralMatch, so
+// the reset path skips validate's map-building entirely.
+func validateLinkParams(name string, l LinkSpec) error {
+	if l.AB.Rate <= 0 {
+		return fmt.Errorf("topo: %s link %q→%q needs a positive rate", name, l.A, l.B)
+	}
+	// A reverse direction is either fully absent (mirrors AB) or has
+	// its own rate; a BA with delay/queue but no rate would be
+	// silently discarded, hiding an intended asymmetric link.
+	if l.BA.Rate == 0 &&
+		(l.BA.Delay != 0 || l.BA.Queue.Limit != 0 || l.BA.Queue.RED != nil || l.BA.Queue.Custom != nil ||
+			l.BA.Dynamics != nil || l.BA.Loss != nil) {
+		return fmt.Errorf("topo: %s link %q→%q reverse direction sets delay/queue/dynamics but no rate", name, l.B, l.A)
+	}
+	for _, d := range [2]struct {
+		dir  Dir
+		a, b string
+	}{{l.AB, l.A, l.B}, {l.mirrored(), l.B, l.A}} {
+		if d.dir.Rate <= 0 {
+			return fmt.Errorf("topo: %s link %q→%q needs a positive rate", name, d.a, d.b)
+		}
+		if d.dir.Delay < 0 {
+			return fmt.Errorf("topo: %s link %q→%q has negative delay", name, d.a, d.b)
+		}
+		if d.dir.Queue.Limit < 0 {
+			return fmt.Errorf("topo: %s link %q→%q has negative queue limit", name, d.a, d.b)
+		}
+		if r := d.dir.Queue.RED; r != nil && d.dir.Queue.Custom == nil {
+			if r.MinTh < 0 || r.MaxTh < r.MinTh || r.MaxP <= 0 || r.MaxP > 1 {
+				return fmt.Errorf("topo: %s link %q→%q has inconsistent RED thresholds", name, d.a, d.b)
+			}
+		}
+		if dyn := d.dir.Dynamics; dyn != nil {
+			if err := dyn.validate(); err != nil {
+				return fmt.Errorf("topo: %s link %q→%q: %w", name, d.a, d.b, err)
+			}
+		}
+		if ls := d.dir.Loss; ls != nil {
+			if err := ls.params().Validate(); err != nil {
+				return fmt.Errorf("topo: %s link %q→%q: %w", name, d.a, d.b, err)
+			}
+		}
+	}
+	return nil
+}
+
+// validateParams re-checks the parametric half of a spec against a
+// structurally verified shape: everything Reset allows to change. Unlike
+// validate it allocates nothing, which matters on the per-replication
+// reset path.
+func (s Spec) validateParams() error {
+	name := s.Name
+	if name == "" {
+		name = "topology"
+	}
+	for _, l := range s.Links {
+		if err := validateLinkParams(name, l); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,112 @@
+package repro_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// digestScenario flattens everything a streaming scenario run reports into
+// one comparable string: burstiness report, burst records, drop and event
+// counts. Two runs whose digests match consumed identical random streams
+// and saw identical packet dynamics. The report's histogram is a pointer
+// and is rendered through its pointee so the digest carries values, not
+// addresses.
+func digestScenario(res *topo.ScenarioResult) string {
+	rep := *res.Report
+	hist := "nil"
+	if rep.Hist != nil {
+		hist = fmt.Sprintf("%+v", *rep.Hist)
+		rep.Hist = nil
+	}
+	return fmt.Sprintf("drops=%d events=%d rtt=%v\nreport=%+v\nhist=%s\nbursts=%+v",
+		res.Drops, res.Events, res.MeanRTT, rep, hist, res.Bursts)
+}
+
+// TestResetEquivalence is the world-lifecycle property test: running a
+// scenario on a warm arena — where topo.NetworkIn finds the cached world
+// and Resets it instead of instantiating — must be bit-identical to
+// running it on a fresh arena, run for run. Seeds vary across the runs so
+// the reset path also exercises parameter retuning (hetero-mesh perturbs
+// delays, buffers and labels per seed while keeping the structure).
+func TestResetEquivalence(t *testing.T) {
+	const runs = 3
+	for _, name := range topo.Names() {
+		sc, ok := topo.Lookup(name)
+		if !ok || sc.RunIn == nil {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfgAt := func(i int) topo.ScenarioConfig {
+				cfg := goldenConfig
+				cfg.Seed = goldenConfig.Seed + int64(i)
+				return cfg
+			}
+			// A run's identity includes its failure mode: a seed that
+			// produces no drops errors identically cold or warm.
+			digest := func(res *topo.ScenarioResult, err error) string {
+				if err != nil {
+					return "err: " + err.Error()
+				}
+				return digestScenario(res)
+			}
+			// Reference: every run on its own cold arena (Instantiate path).
+			want := make([]string, runs)
+			sawResult := false
+			for i := range want {
+				want[i] = digest(sc.RunIn(cfgAt(i), exp.NewArena()))
+				if want[i][:4] != "err:" {
+					sawResult = true
+				}
+			}
+			if !sawResult {
+				t.Fatalf("no seed in %v produced a result; test exercises nothing", want)
+			}
+			// Same runs back to back on one arena: run 0 instantiates and
+			// caches, runs 1+ take the Reset path.
+			a := exp.NewArena()
+			for i := range want {
+				if got := digest(sc.RunIn(cfgAt(i), a)); got != want[i] {
+					t.Fatalf("run %d on a reset world diverged from a fresh build:\n--- fresh ---\n%s\n--- reset ---\n%s",
+						i, want[i], got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelArenaReuse pins the transport half of the lifecycle: a
+// parallel transfer on a reused arena rewinds its cached dumbbell and its
+// cached sender/receiver pairs (tcp.Flow.ResetPair) instead of rebuilding,
+// and must reproduce a fresh run's result exactly — per-flow completion
+// times included. The sequence deliberately revisits a flow count with a
+// different RTT (the buffer limit, and so every DropTail capacity,
+// changes across the reset) and interleaves flow counts (several cached
+// worlds alive in one arena).
+func TestParallelArenaReuse(t *testing.T) {
+	cfgs := []apps.ParallelConfig{
+		{TotalBytes: 2 << 20, Flows: 4, RTT: 10 * sim.Millisecond},
+		{TotalBytes: 2 << 20, Flows: 8, RTT: 2 * sim.Millisecond},
+		{TotalBytes: 2 << 20, Flows: 4, RTT: 50 * sim.Millisecond},
+		{TotalBytes: 1 << 20, Flows: 8, RTT: 50 * sim.Millisecond, Paced: true},
+		{TotalBytes: 2 << 20, Flows: 4, RTT: 10 * sim.Millisecond},
+	}
+	want := make([]apps.ParallelResult, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = apps.RunParallelIn(cfg, exp.NewArena())
+	}
+	a := exp.NewArena()
+	for i, cfg := range cfgs {
+		got := apps.RunParallelIn(cfg, a)
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("run %d (%d flows, rtt %v) on a reused arena diverged:\nfresh: %+v\nreused: %+v",
+				i, cfg.Flows, cfg.RTT, want[i], got)
+		}
+	}
+}
