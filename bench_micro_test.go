@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/exp"
 	"repro/internal/netsim"
+	"repro/internal/ratectl"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topo"
@@ -369,6 +371,132 @@ func BenchmarkDumbbellSecond(b *testing.B) {
 		sched.RunUntil(sim.Time(sim.Second))
 		if d.Forward.Forwarded == 0 {
 			b.Fatal("bottleneck forwarded nothing")
+		}
+		b.ReportMetric(float64(sched.Fired()), "events")
+	}
+}
+
+// BenchmarkOveruseDetector runs the receiver-side congestion pipeline —
+// burst grouping, Kalman gradient filter, adaptive-threshold detector and
+// AIMD controller — over a precomputed sawtooth of queue build-ups and
+// drains, with no world around it. This is the per-packet cost a GCC
+// receiver adds on top of plain forwarding, and it must stay
+// allocation-free: every stage reuses its own state across resets.
+func BenchmarkOveruseDetector(b *testing.B) {
+	b.ReportAllocs()
+	type pkt struct {
+		send, arrive sim.Time
+		size         int
+	}
+	// 20k packets, 1 ms apart in send time, riding a queue sawtooth: ramps
+	// of +0.05 ms/packet alternate with drains back to the floor, plus
+	// seeded sub-millisecond jitter so the filters do real smoothing work.
+	rng := sim.NewRand(9)
+	pkts := make([]pkt, 20000)
+	queue := 0.0
+	for i := range pkts {
+		if (i/400)%2 == 0 {
+			queue += 0.05
+		} else if queue > 0 {
+			queue -= 0.05
+		}
+		send := sim.Time(sim.Duration(i) * sim.Millisecond)
+		lat := 20 + queue + rng.Float64()*0.3
+		pkts[i] = pkt{
+			send:   send,
+			arrive: send.Add(sim.Duration(lat * float64(sim.Millisecond))),
+			size:   1000,
+		}
+	}
+	var ia ratectl.InterArrival
+	kal := ratectl.NewKalmanEstimator()
+	det := ratectl.NewOveruseDetector()
+	aimd := ratectl.NewAIMDController(125_000, 12_500, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia.Reset()
+		kal.Reset()
+		det.Reset()
+		aimd.Reset(125_000, 12_500, 0)
+		for _, p := range pkts {
+			d, ok := ia.Add(p.send, p.arrive, p.size)
+			if !ok {
+				continue
+			}
+			st := det.Update(kal.Update(d), d.Arrival)
+			aimd.Update(st, 250_000, d.Arrival)
+		}
+		if det.OveruseHits == 0 || aimd.Decreases == 0 {
+			b.Fatal("sawtooth never tripped the detector")
+		}
+	}
+}
+
+// BenchmarkRatectlSecond runs one simulated second of two delay-based
+// flows sharing a static 6 Mbps bottleneck, replayed through the cached
+// world: per op the arena rewinds the scheduler, Network.Reset reseeds the
+// compiled topology and GCCFlow.ResetPair rewinds the transports. The spec
+// deliberately has no Dynamics and no Loss — those reseed paths allocate
+// (modulator rebuild, loss-hook rebind) and belong to WorldInstantiate;
+// here the gate is the ratectl contract: a steady-state second of pacing,
+// grouping, estimation and feedback at 0 allocs/op.
+func BenchmarkRatectlSecond(b *testing.B) {
+	b.ReportAllocs()
+	const seed = 3
+	spec := topo.Spec{Name: "ratectl-second"}
+	spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: "left"}, topo.NodeSpec{Name: "right"})
+	hop := topo.Dir{Rate: 6_000_000, Delay: 20 * sim.Millisecond, Queue: topo.QueueSpec{Limit: 40}}
+	spec.Links = append(spec.Links, topo.LinkSpec{A: "left", B: "right", AB: hop, BA: hop})
+	for i := 0; i < 2; i++ {
+		snd, rcv := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: snd}, topo.NodeSpec{Name: rcv})
+		access := topo.Dir{Rate: 1_000_000_000, Delay: sim.Duration(2+2*i) * sim.Millisecond}
+		spec.Links = append(spec.Links,
+			topo.LinkSpec{A: snd, B: "left", AB: access},
+			topo.LinkSpec{A: "right", B: rcv, AB: access},
+		)
+		spec.Flows = append(spec.Flows, topo.FlowSpec{From: snd, To: rcv, Kind: topo.FlowGCC})
+	}
+
+	arena := exp.NewArena()
+	sched := arena.Scheduler()
+	net, err := topo.NetworkIn(arena, sched, spec, sim.SubSeed(seed, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.AttachPool(arena.Pool())
+	var flows []*ratectl.GCCFlow
+	run := func() *sim.Scheduler {
+		sched := arena.Scheduler()
+		if err := net.Reset(spec, sim.SubSeed(seed, 1)); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < net.NumFlows(); i++ {
+			cfg := ratectl.GCCConfig{
+				InitialRTT: net.FlowRTT(i),
+				Estimator:  ratectl.EstimatorKind(i % 2),
+				Seed:       sim.SubSeed(seed, int64(1000+i)),
+				Pool:       arena.Pool(),
+			}
+			if flows == nil {
+				flows = make([]*ratectl.GCCFlow, 0, net.NumFlows())
+			}
+			if i == len(flows) {
+				flows = append(flows, ratectl.NewGCCFlow(sched, net.FlowSender(i), net.FlowReceiver(i), i+1, cfg))
+			} else {
+				flows[i].ResetPair(net.FlowSender(i), net.FlowReceiver(i), i+1, cfg)
+			}
+			flows[i].StartAt(sched, sim.Time(sim.Duration(i)*10*sim.Millisecond))
+		}
+		sched.RunUntil(sim.Time(sim.Second))
+		return sched
+	}
+	run() // warm the pool, scheduler arena and flow objects
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := run()
+		if flows[0].Sender.Sent == 0 || flows[0].Sender.FeedbackIn == 0 {
+			b.Fatal("flow exchanged no data or feedback")
 		}
 		b.ReportMetric(float64(sched.Fired()), "events")
 	}

@@ -18,6 +18,7 @@
 //	paperexp -fig 2,3,4      # several artifacts, concurrently
 //	paperexp -xtfrc          # extension: TFRC vs NewReno competition
 //	paperexp -xecn           # extension: ECN signal coverage
+//	paperexp -xshowdown      # extension: loss-based vs delay-based showdown
 //	paperexp -scenario parking-lot   # one registered topology scenario
 //	paperexp -scenario all           # the whole scenario catalog
 //	paperexp -all            # everything, scenario catalog included
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		xtfrc    = fs.Bool("xtfrc", false, "run the TFRC competition extension")
 		xecn     = fs.Bool("xecn", false, "run the ECN coverage extension")
 		xtrace   = fs.Bool("xtrace", false, "run the TCP-trace methodology comparison")
+		xshow    = fs.Bool("xshowdown", false, "run the loss-based vs delay-based controller showdown")
 		scenario = fs.String("scenario", "", "registered topology scenarios to run, comma-separated; \"all\" runs the catalog, \"list\" prints it")
 		seed     = fs.Int64("seed", 1, "experiment seed")
 		quick    = fs.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
@@ -188,6 +190,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	add(*all || *xtfrc, "Extension: TFRC vs NewReno", e.tfrc)
 	add(*all || *xecn, "Extension: ECN signal coverage", e.ecn)
 	add(*all || *xtrace, "Future work: TCP-trace methodology", e.tcptrace)
+	add(*all || *xshow, "Extension: loss-based vs delay-based showdown", e.showdown)
 	for _, name := range scenarioNames {
 		sc, _ := topo.Lookup(name)
 		add(true, "Scenario: "+sc.Name, func(w io.Writer) (uint64, error) { return e.scenario(w, sc) })
@@ -458,6 +461,23 @@ func (e *executor) ecn(w io.Writer) (uint64, error) {
 		events += res.Events
 	}
 	return events, nil
+}
+
+// showdown runs the loss-vs-delay controller comparison across the
+// time-varying showdown worlds (scenarios.ShowdownShapes) and renders the
+// figure-style table. The full duration covers one complete dilated
+// cellular trace loop plus warmup, so every fade depth in the schedule
+// contributes.
+func (e *executor) showdown(w io.Writer) (uint64, error) {
+	res, err := core.SweepShowdown(topo.ScenarioConfig{
+		Seed:     e.seed,
+		Duration: e.dur(125*sim.Second, 25*sim.Second),
+		Warmup:   5 * sim.Second,
+	}, e.sweepOpts())
+	if err != nil {
+		return 0, err
+	}
+	return res.Events, core.WriteShowdown(w, res)
 }
 
 func (e *executor) tcptrace(w io.Writer) (uint64, error) {

@@ -24,6 +24,7 @@ func TestScenarioCatalogRegistered(t *testing.T) {
 	for _, want := range []string{
 		"dumbbell", "parking-lot", "access-tree", "hetero-mesh",
 		"wifi-gilbert", "cellular-trace", "flaky-backbone",
+		"gcc-vs-tcp-wifi", "gcc-cellular",
 	} {
 		found := false
 		for _, n := range names {

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// showdownCfg covers one full dilated cellular trace loop (120 s) plus
+// warmup, so every fade depth and recovery in the schedule contributes to
+// the comparison.
+var showdownCfg = topo.ScenarioConfig{
+	Seed:     5,
+	Duration: 125 * sim.Second,
+	Warmup:   5 * sim.Second,
+}
+
+// TestShowdownDelayBeatsLoss is the headline acceptance: on both
+// time-varying worlds the delay-based controller sustains at least the
+// loss-based controller's throughput at lower self-induced queueing delay.
+// The wifi world gets there through Gilbert–Elliott wire loss (TCP halves
+// on random bursts; GCC's backstop ignores sub-2% loss), the cellular
+// world through the same mechanism on a trace-driven fading link.
+func TestShowdownDelayBeatsLoss(t *testing.T) {
+	t.Parallel()
+	res, err := SweepShowdown(showdownCfg, SweepOptions{Replications: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want wifi-gilbert and cellular-trace", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Delay.GoodputBps < row.Loss.GoodputBps {
+			t.Errorf("%s: delay-based goodput %.2f Mbps below loss-based %.2f Mbps",
+				row.Scenario, row.Delay.GoodputBps/1e6, row.Loss.GoodputBps/1e6)
+		}
+		if row.Delay.InducedDelayMs >= row.Loss.InducedDelayMs {
+			t.Errorf("%s: delay-based induced delay %.1f ms not below loss-based %.1f ms",
+				row.Scenario, row.Delay.InducedDelayMs, row.Loss.InducedDelayMs)
+		}
+		if row.Delay.GoodputBps <= 0 || row.Loss.GoodputBps <= 0 {
+			t.Errorf("%s: empty cell: %+v", row.Scenario, row)
+		}
+	}
+}
+
+// TestShowdownWorkerInvariance: the showdown sweep is a pure function of
+// (cfg, Replications) regardless of how many workers ran it.
+func TestShowdownWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	cfg := showdownCfg
+	cfg.Duration = 20 * sim.Second // invariance needs no full loop
+	seq, err := SweepShowdown(cfg, SweepOptions{Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepShowdown(cfg, SweepOptions{Replications: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("showdown depends on worker count:\n%+v\nvs\n%+v", seq, par)
+	}
+}
+
+// TestWriteShowdown pins the artifact's shape: a header line plus one
+// loss/tcp and one delay/gcc line per scenario.
+func TestWriteShowdown(t *testing.T) {
+	t.Parallel()
+	cfg := showdownCfg
+	cfg.Duration = 20 * sim.Second
+	res, err := SweepShowdown(cfg, SweepOptions{Replications: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteShowdown(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wifi-gilbert", "cellular-trace", "loss/tcp", "delay/gcc", "Mbps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("artifact missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "delay/gcc"); got != 2 {
+		t.Fatalf("delay/gcc rows = %d, want 2", got)
+	}
+}

@@ -62,6 +62,26 @@ type Packet struct {
 	// FeedbackPayload carries TFRC receiver-report fields when Kind is
 	// Feedback. It is nil on other packets.
 	FeedbackPayload *TFRCFeedback
+
+	// HasRateFB marks a Feedback packet as carrying a delay-based (GCC
+	// style) receiver report in RateFB. The report is embedded by value —
+	// not behind a pointer like the TFRC payload — so pooled feedback
+	// packets stay allocation-free on the steady-state rate-control path.
+	HasRateFB bool
+	// RateFB is the delay-based receiver report (valid iff HasRateFB).
+	RateFB RateFeedback
+}
+
+// RateFeedback is the receiver report of the delay-based congestion
+// controller (internal/ratectl): the receiver-side pipeline computes a
+// target rate from one-way delay gradients and returns it to the sender
+// REMB-style, together with the timestamps the sender needs for its RTT
+// estimate and the measured arrival rate.
+type RateFeedback struct {
+	TargetRate float64  // receiver-computed target sending rate, bytes/second
+	RecvRate   float64  // measured receive rate since the last report, bytes/second
+	Timestamp  sim.Time // send time of the newest data packet seen (for RTT)
+	Delay      sim.Duration
 }
 
 // TFRCFeedback is the receiver report defined by RFC 3448 §3.2.2: the

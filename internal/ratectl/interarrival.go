@@ -1,0 +1,82 @@
+package ratectl
+
+import "repro/internal/sim"
+
+// BurstWindow is the send-time span that folds packets into one packet
+// group: packets transmitted within 5 ms of the group's first packet are
+// one burst, the granularity at which the delay-gradient estimators see
+// the path (per-packet inter-arrival times are dominated by serialization
+// jitter; per-group deltas isolate the queue's contribution).
+const BurstWindow = 5 * sim.Millisecond
+
+// GroupDelta is one completed packet-group comparison: the change in send
+// time, arrival time and carried bytes between two consecutive groups.
+// ArrivalDelta − SendDelta is the inter-group one-way delay variation the
+// estimators filter.
+type GroupDelta struct {
+	SendDelta    sim.Duration
+	ArrivalDelta sim.Duration
+	SizeDelta    int
+	// Arrival is the last-arrival time of the newer group, the time axis
+	// of the trendline window and the threshold adaptation.
+	Arrival sim.Time
+}
+
+// group accumulates one in-progress packet group. Boundary decisions and
+// deltas depend only on first/last timestamps, never on packet count or
+// size, so splitting a packet into same-timestamp fragments leaves the
+// grouping invariant (pinned by TestGroupingFragmentationInvariant).
+type group struct {
+	firstSend   sim.Time
+	lastSend    sim.Time
+	lastArrival sim.Time
+	size        int
+}
+
+// InterArrival groups arriving packets into send-time bursts and emits a
+// GroupDelta every time a group completes. The zero value is ready to use;
+// it allocates nothing, ever.
+type InterArrival struct {
+	cur, prev group
+	haveCur   bool
+	havePrev  bool
+}
+
+// Reset rewinds the grouper to its zero state.
+func (ia *InterArrival) Reset() { *ia = InterArrival{} }
+
+// Add feeds one arriving packet. When the packet opens a new group the
+// previous two groups' comparison is returned with ok=true.
+func (ia *InterArrival) Add(sendTime, arrival sim.Time, size int) (d GroupDelta, ok bool) {
+	if !ia.haveCur {
+		ia.haveCur = true
+		ia.cur = group{firstSend: sendTime, lastSend: sendTime, lastArrival: arrival, size: size}
+		return GroupDelta{}, false
+	}
+	if sendTime.Sub(ia.cur.firstSend) <= BurstWindow {
+		// Same burst: extend. Out-of-order timestamps within the window
+		// only ever grow the group's span, keeping Add order-insensitive.
+		if sendTime > ia.cur.lastSend {
+			ia.cur.lastSend = sendTime
+		}
+		if arrival > ia.cur.lastArrival {
+			ia.cur.lastArrival = arrival
+		}
+		ia.cur.size += size
+		return GroupDelta{}, false
+	}
+	// New group: compare the two completed ones if both exist.
+	if ia.havePrev {
+		d = GroupDelta{
+			SendDelta:    ia.cur.lastSend.Sub(ia.prev.lastSend),
+			ArrivalDelta: ia.cur.lastArrival.Sub(ia.prev.lastArrival),
+			SizeDelta:    ia.cur.size - ia.prev.size,
+			Arrival:      ia.cur.lastArrival,
+		}
+		ok = true
+	}
+	ia.prev = ia.cur
+	ia.havePrev = true
+	ia.cur = group{firstSend: sendTime, lastSend: sendTime, lastArrival: arrival, size: size}
+	return d, ok
+}

@@ -99,20 +99,26 @@ func runDynamicPath(w *world, cfg topo.ScenarioConfig, spec topo.Spec,
 	return w.finish(spec.Name, cfg, net.MeanFlowRTT())
 }
 
-// runWifiGilbert models a shared 802.11-style hop: the wireless rate walks
-// between 12 and 54 Mbps (rate adaptation reacting to channel quality)
-// while a sticky Gilbert–Elliott chain erases multi-packet bursts on the
-// wire — at 30 Mbps a mean 4-packet bad dwell spans ~1 ms, far below the
-// ~60 ms RTT, so the link itself now produces the paper's sub-RTT
-// clustering on top of whatever the queue adds.
-func runWifiGilbert(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
-	cfg.FillDefaults()
+// Nominal middle-hop rates and noise fractions of the two shapes the
+// loss-vs-delay showdown reuses (see gcc.go), shared so the gcc-prefixed
+// variants stay parameter-identical to the originals.
+const (
+	wifiNomRate       = 30_000_000
+	wifiNoiseFraction = 0.10
+	cellNomRate       = 16_000_000
+	cellNoiseFraction = 0.08
+)
+
+// wifiSpec builds the wifi-gilbert shape under the given topology name:
+// the wireless rate walks between 12 and 54 Mbps while a sticky
+// Gilbert–Elliott chain erases multi-packet bursts on the wire. The seed
+// chain (delays from SubSeed(seed,1)) is fixed — a different name reuses
+// the same world geometry, so wifi-gilbert's goldens never move.
+func wifiSpec(cfg topo.ScenarioConfig, name string) (topo.Spec, int) {
 	const (
 		pairs    = 8
-		nomRate  = 30_000_000
 		hopDelay = 3 * sim.Millisecond
 	)
-	w := newWorld(cfg, a)
 	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
 	delays := netsim.RandomAccessDelays(rng, pairs, 2*sim.Millisecond, 60*sim.Millisecond)
 
@@ -121,16 +127,28 @@ func runWifiGilbert(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult
 		meanRTT += 2 * (d + hopDelay)
 	}
 	meanRTT /= pairs
-	buffer := bufferFor(nomRate, meanRTT, cfg.PktSize)
+	buffer := bufferFor(wifiNomRate, meanRTT, cfg.PktSize)
 
-	spec := dynamicPath("wifi-gilbert", delays, nomRate, hopDelay, buffer,
+	return dynamicPath(name, delays, wifiNomRate, hopDelay, buffer,
 		&topo.DynamicsSpec{Walk: &topo.WalkSpec{
 			Min: 12_000_000, Max: 54_000_000,
 			Factor:   1.3,
 			Interval: 200 * sim.Millisecond,
 		}},
-		&topo.LossSpec{PGB: 0.003, PBG: 0.25, KGood: 0, KBad: 0.9})
-	return runDynamicPath(w, cfg, spec, buffer, nomRate, 0.10)
+		&topo.LossSpec{PGB: 0.003, PBG: 0.25, KGood: 0, KBad: 0.9}), buffer
+}
+
+// runWifiGilbert models a shared 802.11-style hop: the wireless rate walks
+// between 12 and 54 Mbps (rate adaptation reacting to channel quality)
+// while a sticky Gilbert–Elliott chain erases multi-packet bursts on the
+// wire — at 30 Mbps a mean 4-packet bad dwell spans ~1 ms, far below the
+// ~60 ms RTT, so the link itself now produces the paper's sub-RTT
+// clustering on top of whatever the queue adds.
+func runWifiGilbert(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
+	cfg.FillDefaults()
+	w := newWorld(cfg, a)
+	spec, buffer := wifiSpec(cfg, "wifi-gilbert")
+	return runDynamicPath(w, cfg, spec, buffer, wifiNomRate, wifiNoiseFraction)
 }
 
 // runCellularTrace replays the checked-in LTE-shaped bandwidth trace onto
@@ -140,16 +158,26 @@ func runWifiGilbert(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult
 // runs see the same fading pattern repeatedly.
 func runCellularTrace(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
 	cfg.FillDefaults()
+	w := newWorld(cfg, a)
+	spec, buffer, err := cellularSpec(cfg, "cellular-trace")
+	if err != nil {
+		return nil, err
+	}
+	return runDynamicPath(w, cfg, spec, buffer, cellNomRate, cellNoiseFraction)
+}
+
+// cellularSpec builds the cellular-trace shape under the given topology
+// name: the checked-in LTE bandwidth trace replayed onto the radio link.
+// Like wifiSpec, the seed chain is name-independent.
+func cellularSpec(cfg topo.ScenarioConfig, name string) (topo.Spec, int, error) {
 	const (
 		pairs    = 6
-		nomRate  = 16_000_000
 		hopDelay = 25 * sim.Millisecond
 	)
 	steps, err := topo.ParseBandwidthTrace(cellularBWTrace)
 	if err != nil {
-		return nil, fmt.Errorf("cellular-trace: %w", err)
+		return topo.Spec{}, 0, fmt.Errorf("%s: %w", name, err)
 	}
-	w := newWorld(cfg, a)
 	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
 	delays := netsim.RandomAccessDelays(rng, pairs, 2*sim.Millisecond, 20*sim.Millisecond)
 
@@ -158,11 +186,10 @@ func runCellularTrace(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResu
 		meanRTT += 2 * (d + hopDelay)
 	}
 	meanRTT /= pairs
-	buffer := bufferFor(nomRate, meanRTT, cfg.PktSize)
+	buffer := bufferFor(cellNomRate, meanRTT, cfg.PktSize)
 
-	spec := dynamicPath("cellular-trace", delays, nomRate, hopDelay, buffer,
-		&topo.DynamicsSpec{Steps: steps, Loop: 40 * sim.Second}, nil)
-	return runDynamicPath(w, cfg, spec, buffer, nomRate, 0.08)
+	return dynamicPath(name, delays, cellNomRate, hopDelay, buffer,
+		&topo.DynamicsSpec{Steps: steps, Loop: 40 * sim.Second}, nil), buffer, nil
 }
 
 // runFlakyBackbone drives a looping outage schedule: every 2.5 s the

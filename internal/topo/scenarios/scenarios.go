@@ -27,6 +27,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/planetlab"
+	"repro/internal/ratectl"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/topo"
@@ -164,19 +165,37 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 	}, nil
 }
 
-// startFlows wires one TCP flow per declared endpoint pair — sharing the
-// world's packet pool — and staggers the starts over spread to avoid
-// artificial global synchronization.
+// startFlows wires one transport flow per declared endpoint pair — the
+// family chosen by the spec's FlowSpec.Kind, sharing the world's packet
+// pool — and staggers the starts over spread to avoid artificial global
+// synchronization.
 func (w *world) startFlows(net *topo.Network, cfg topo.ScenarioConfig, ssthresh float64, spread sim.Duration) {
 	n := net.NumFlows()
 	for i := 0; i < n; i++ {
-		f := tcp.NewPairFlow(net.Sched, net.FlowSender(i), net.FlowReceiver(i), i+1, tcp.Config{
-			PktSize:         cfg.PktSize,
-			InitialRTT:      net.FlowRTT(i),
-			InitialSSThresh: ssthresh,
-			Pool:            w.pool,
-		})
-		f.StartAt(net.Sched, sim.Time(sim.Duration(i)*spread/sim.Duration(n)))
+		at := sim.Time(sim.Duration(i) * spread / sim.Duration(n))
+		switch net.Flow(i).Kind {
+		case topo.FlowGCC:
+			f := ratectl.NewGCCFlow(net.Sched, net.FlowSender(i), net.FlowReceiver(i), i+1, ratectl.GCCConfig{
+				PktSize:    cfg.PktSize,
+				InitialRTT: net.FlowRTT(i),
+				// Alternate the delay-gradient filter so scenario goldens pin
+				// both implementations.
+				Estimator: ratectl.EstimatorKind(i % 2),
+				// Per-flow branch of the scenario's seed chain, offset past
+				// the world/noise tags.
+				Seed: sim.SubSeed(cfg.Seed, int64(1000+i)),
+				Pool: w.pool,
+			})
+			f.StartAt(net.Sched, at)
+		default:
+			f := tcp.NewPairFlow(net.Sched, net.FlowSender(i), net.FlowReceiver(i), i+1, tcp.Config{
+				PktSize:         cfg.PktSize,
+				InitialRTT:      net.FlowRTT(i),
+				InitialSSThresh: ssthresh,
+				Pool:            w.pool,
+			})
+			f.StartAt(net.Sched, at)
+		}
 	}
 }
 

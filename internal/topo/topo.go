@@ -115,12 +115,41 @@ type REDSpec struct {
 	PacketsPerSecond float64
 }
 
+// FlowKind selects the transport family a flow runs. It is a parametric
+// field like link rates: structural matching (Program.structuralMatch,
+// structuralKey) compares flows by endpoints only, so a cached world can
+// be Reset from loss-based to delay-based flows without recompiling.
+type FlowKind uint8
+
+// Transport families.
+const (
+	// FlowTCP is the loss-based Reno-style transport (the default).
+	FlowTCP FlowKind = iota
+	// FlowGCC is the delay-based GCC-style transport from internal/ratectl.
+	FlowGCC
+
+	flowKindCount // bound for validation
+)
+
+func (k FlowKind) String() string {
+	switch k {
+	case FlowTCP:
+		return "tcp"
+	case FlowGCC:
+		return "gcc"
+	default:
+		return "unknown"
+	}
+}
+
 // FlowSpec declares a transport endpoint pair between two named nodes.
 type FlowSpec struct {
 	// Label is an optional human-readable tag for catalogs and errors.
 	Label string
 	// From and To name the sending and receiving nodes.
 	From, To string
+	// Kind selects the transport family (default FlowTCP).
+	Kind FlowKind
 }
 
 // LinkSpec declares a bidirectional link between nodes A and B. AB
@@ -196,6 +225,9 @@ func (s Spec) validate() error {
 		}
 		if f.From == f.To {
 			return fmt.Errorf("topo: %s flow %d loops on node %q", name, i, f.From)
+		}
+		if f.Kind >= flowKindCount {
+			return fmt.Errorf("topo: %s flow %d has unknown kind %d", name, i, f.Kind)
 		}
 	}
 	return nil

@@ -3,10 +3,12 @@ package repro_test
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/exp"
+	"repro/internal/ratectl"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -108,5 +110,101 @@ func TestParallelArenaReuse(t *testing.T) {
 			t.Fatalf("run %d (%d flows, rtt %v) on a reused arena diverged:\nfresh: %+v\nreused: %+v",
 				i, cfg.Flows, cfg.RTT, want[i], got)
 		}
+	}
+}
+
+// TestGCCResetRateTrace pins the delay-based transport's reset contract:
+// replaying the same seed through a cached world — topo.NetworkIn taking
+// the Reset path and the flows rewound via GCCFlow.ResetPair — must
+// reproduce the exact applied-rate trajectory of a cold build, timestamp
+// for timestamp. Any ratectl state that survives a reset (filter
+// covariance, detector threshold, AIMD capacity memory, loss-controller
+// floor, feedback phase) shows up as a diverging trace here.
+func TestGCCResetRateTrace(t *testing.T) {
+	t.Parallel()
+	const seed = 7
+	spec := topo.Spec{Name: "gcc-reset-trace"}
+	spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: "left"}, topo.NodeSpec{Name: "right"})
+	spec.Links = append(spec.Links, topo.LinkSpec{
+		A: "left", B: "right",
+		AB: topo.Dir{
+			Rate: 8_000_000, Delay: 10 * sim.Millisecond,
+			Queue:    topo.QueueSpec{Limit: 30},
+			Dynamics: &topo.DynamicsSpec{Walk: &topo.WalkSpec{Min: 4_000_000, Max: 12_000_000, Factor: 1.3, Interval: 200 * sim.Millisecond}},
+			Loss:     &topo.LossSpec{PGB: 0.003, PBG: 0.25, KGood: 0, KBad: 0.9},
+		},
+		BA: topo.Dir{Rate: 8_000_000, Delay: 10 * sim.Millisecond, Queue: topo.QueueSpec{Limit: topo.DefaultQueueLimit}},
+	})
+	for i := 0; i < 2; i++ {
+		snd, rcv := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: snd}, topo.NodeSpec{Name: rcv})
+		access := topo.Dir{Rate: 1_000_000_000, Delay: sim.Duration(2+2*i) * sim.Millisecond}
+		spec.Links = append(spec.Links,
+			topo.LinkSpec{A: snd, B: "left", AB: access},
+			topo.LinkSpec{A: "right", B: rcv, AB: access},
+		)
+		spec.Flows = append(spec.Flows, topo.FlowSpec{From: snd, To: rcv, Kind: topo.FlowGCC})
+	}
+
+	gccCfg := func(net *topo.Network, a *exp.Arena, i int) ratectl.GCCConfig {
+		return ratectl.GCCConfig{
+			PktSize:    1000,
+			InitialRTT: net.FlowRTT(i),
+			Estimator:  ratectl.EstimatorKind(i % 2),
+			Seed:       sim.SubSeed(seed, int64(1000+i)),
+			Pool:       a.Pool(),
+		}
+	}
+	// run executes one replay on the arena, creating flows on the first
+	// call and rewinding them with ResetPair afterwards, and returns the
+	// concatenated applied-rate traces of both flows.
+	run := func(a *exp.Arena, flows []*ratectl.GCCFlow) ([]*ratectl.GCCFlow, string, error) {
+		sched := a.Scheduler()
+		net, err := topo.NetworkIn(a, sched, spec, sim.SubSeed(seed, 2))
+		if err != nil {
+			return flows, "", err
+		}
+		net.AttachPool(a.Pool())
+		var trace strings.Builder
+		for i := 0; i < net.NumFlows(); i++ {
+			if flows == nil || flows[i] == nil {
+				if flows == nil {
+					flows = make([]*ratectl.GCCFlow, net.NumFlows())
+				}
+				flows[i] = ratectl.NewGCCFlow(sched, net.FlowSender(i), net.FlowReceiver(i), i+1, gccCfg(net, a, i))
+			} else {
+				flows[i].ResetPair(net.FlowSender(i), net.FlowReceiver(i), i+1, gccCfg(net, a, i))
+			}
+			i := i
+			flows[i].Sender.OnRate = func(rate float64, at sim.Time) {
+				fmt.Fprintf(&trace, "%d %d %.9f\n", i, int64(at), rate)
+			}
+			flows[i].StartAt(sched, sim.Time(sim.Duration(i)*250*sim.Millisecond))
+		}
+		sched.RunUntil(sim.Time(6 * sim.Second))
+		return flows, trace.String(), nil
+	}
+
+	_, fresh, err := run(exp.NewArena(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(fresh, "\n") < 100 {
+		t.Fatalf("trace too short to pin anything:\n%s", fresh)
+	}
+	a := exp.NewArena()
+	flows, first, err := run(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != fresh {
+		t.Fatalf("cold run on shared arena diverged from reference:\n%s", diffSummary(fresh, first))
+	}
+	_, second, err := run(a, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != fresh {
+		t.Fatalf("reset replay diverged from cold build:\n%s", diffSummary(fresh, second))
 	}
 }
