@@ -9,13 +9,12 @@
 package main
 
 import (
-	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -25,8 +24,7 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("lossim", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.NewFlagSet("lossim", stderr)
 	var (
 		env      = fs.String("env", "ns2", "environment: ns2 (Figure 2) or dummynet (Figure 3)")
 		flows    = fs.Int("flows", 16, "TCP flows (ns2)")
@@ -39,19 +37,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("o", "-", "output file for the CSV trace ('-' = stdout)")
 		summary  = fs.Bool("summary", true, "print the burstiness summary to stderr")
 	)
-	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
+	if code, ok := cli.Parse(fs, args); !ok {
+		return code
+	}
+	if *env != "ns2" && *env != "dummynet" {
+		return cli.Usagef(stderr, "lossim", "unknown -env %q (want ns2 or dummynet)", *env)
+	}
+	if *flows < 1 {
+		return cli.Usagef(stderr, "lossim", "-flows must be at least 1, got %d", *flows)
+	}
+	if *perClass < 1 {
+		return cli.Usagef(stderr, "lossim", "-flows-per-class must be at least 1, got %d", *perClass)
+	}
+	if *duration <= 0 {
+		return cli.Usagef(stderr, "lossim", "-duration must be positive, got %v", *duration)
+	}
+	if *warmup < 0 || *warmup >= *duration {
+		return cli.Usagef(stderr, "lossim", "-warmup %v must lie in [0, duration)", *warmup)
 	}
 
 	var w io.Writer = stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(stderr, "lossim:", err)
-			return 1
+			return cli.Failf(stderr, "lossim", "%v", err)
 		}
 		defer f.Close()
 		w = f
@@ -59,8 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var res *core.ScenarioResult
 	var err error
-	switch *env {
-	case "ns2":
+	if *env == "ns2" {
 		res, err = core.RunFigure2(core.Fig2Config{
 			Seed:          *seed,
 			Flows:         *flows,
@@ -69,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Duration:      sim.Dur(*duration),
 			Warmup:        sim.Dur(*warmup),
 		})
-	case "dummynet":
+	} else {
 		res, err = core.RunFigure3(core.Fig3Config{
 			Seed:          *seed,
 			FlowsPerClass: *perClass,
@@ -78,16 +86,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Duration:      sim.Dur(*duration),
 			Warmup:        sim.Dur(*warmup),
 		})
-	default:
-		err = fmt.Errorf("unknown -env %q (want ns2 or dummynet)", *env)
 	}
 	if err != nil {
-		fmt.Fprintln(stderr, "lossim:", err)
-		return 1
+		return cli.Failf(stderr, "lossim", "%v", err)
 	}
 	if err := res.Trace.WriteCSV(w); err != nil {
-		fmt.Fprintln(stderr, "lossim:", err)
-		return 1
+		return cli.Failf(stderr, "lossim", "%v", err)
 	}
 	if *summary {
 		r := res.Report

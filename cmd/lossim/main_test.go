@@ -48,17 +48,30 @@ func TestRunDummynetToStdout(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadFlags pins the shared internal/cli contract: unknown
+// flags AND invalid values both diagnose to stderr and exit 2.
 func TestRunRejectsBadFlags(t *testing.T) {
-	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-env", "marsnet", "-duration", "1s"}, &stdout, &stderr); code != 1 {
-		t.Fatalf("bad -env: exit %d", code)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnosis
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"unknown env", []string{"-env", "marsnet"}, "marsnet"},
+		{"zero flows", []string{"-flows", "0"}, "-flows"},
+		{"zero per-class", []string{"-flows-per-class", "-3"}, "-flows-per-class"},
+		{"negative duration", []string{"-duration", "-5s"}, "-duration"},
+		{"warmup past duration", []string{"-duration", "5s", "-warmup", "5s"}, "-warmup"},
 	}
-	if !strings.Contains(stderr.String(), "marsnet") {
-		t.Fatalf("stderr: %s", stderr.String())
-	}
-	stderr.Reset()
-	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
-		t.Fatalf("bad flag: exit %d", code)
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%s: stderr %q missing %q", tc.name, stderr.String(), tc.want)
+		}
 	}
 }
 

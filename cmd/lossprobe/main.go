@@ -11,13 +11,12 @@
 package main
 
 import (
-	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/planetlab"
 	"repro/internal/probe"
@@ -29,8 +28,7 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("lossprobe", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.NewFlagSet("lossprobe", stderr)
 	var (
 		paths    = fs.Int("paths", 10, "number of random directed paths to measure")
 		src      = fs.Int("src", -1, "source site index (measure one path)")
@@ -41,11 +39,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 0, "concurrent path measurements (0 = GOMAXPROCS)")
 		list     = fs.Bool("list", false, "list the 26 sites and exit")
 	)
-	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
+	if code, ok := cli.Parse(fs, args); !ok {
+		return code
+	}
+	if *paths < 1 {
+		return cli.Usagef(stderr, "lossprobe", "-paths must be at least 1, got %d", *paths)
+	}
+	if *duration <= 0 || *interval <= 0 {
+		return cli.Usagef(stderr, "lossprobe", "-duration and -interval must be positive")
 	}
 
 	mesh := planetlab.NewMesh(planetlab.MeshConfig{Seed: *seed})
@@ -59,8 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var pairs [][2]int
 	if *src >= 0 && *dst >= 0 {
 		if *src == *dst || *src >= len(mesh.Sites) || *dst >= len(mesh.Sites) {
-			fmt.Fprintln(stderr, "lossprobe: invalid site pair")
-			return 2
+			return cli.Usagef(stderr, "lossprobe", "invalid site pair %d -> %d", *src, *dst)
 		}
 		pairs = [][2]int{{*src, *dst}}
 	} else {
@@ -88,8 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 	rows, err := exp.Values(results)
 	if err != nil {
-		fmt.Fprintln(stderr, "lossprobe:", err)
-		return 1
+		return cli.Failf(stderr, "lossprobe", "%v", err)
 	}
 	for _, row := range rows {
 		io.WriteString(stdout, row)

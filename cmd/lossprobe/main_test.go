@@ -57,3 +57,27 @@ func TestRunSinglePathAndList(t *testing.T) {
 		t.Fatalf("self pair: exit %d", code)
 	}
 }
+
+// TestRunRejectsBadFlags pins the shared internal/cli contract: unknown
+// flags AND invalid values both diagnose to stderr and exit 2.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"zero paths", []string{"-paths", "0"}, "-paths"},
+		{"zero duration", []string{"-duration", "0s"}, "-duration"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%s: stderr %q missing %q", tc.name, stderr.String(), tc.want)
+		}
+	}
+}

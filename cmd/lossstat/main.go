@@ -8,14 +8,12 @@
 package main
 
 import (
-	"errors"
-	"flag"
-	"fmt"
 	"io"
 	"os"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -26,43 +24,44 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("lossstat", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.NewFlagSet("lossstat", stderr)
 	var (
 		rtt   = fs.Duration("rtt", 100*time.Millisecond, "RTT used to normalize intervals")
 		bin   = fs.Float64("bin", 0.02, "PDF bin width in RTT units")
 		rng   = fs.Float64("range", 2.0, "PDF range in RTT units")
 		ascii = fs.Bool("ascii", false, "render an ASCII log-scale plot instead of rows")
 	)
-	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
+	if code, ok := cli.Parse(fs, args); !ok {
+		return code
+	}
+	if *rtt <= 0 {
+		return cli.Usagef(stderr, "lossstat", "-rtt must be positive, got %v", *rtt)
+	}
+	if *bin <= 0 {
+		return cli.Usagef(stderr, "lossstat", "-bin must be positive, got %v", *bin)
+	}
+	if *rng <= *bin {
+		return cli.Usagef(stderr, "lossstat", "-range %v must exceed -bin %v", *rng, *bin)
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: lossstat [flags] trace.csv")
-		return 2
+		return cli.Usagef(stderr, "lossstat", "usage: lossstat [flags] trace.csv")
 	}
 
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(stderr, "lossstat:", err)
-		return 1
+		return cli.Failf(stderr, "lossstat", "%v", err)
 	}
 	defer f.Close()
 	rec, err := trace.ReadCSV(f)
 	if err != nil {
-		fmt.Fprintln(stderr, "lossstat:", err)
-		return 1
+		return cli.Failf(stderr, "lossstat", "%v", err)
 	}
 	rep, err := analysis.AnalyzeTrace(rec, sim.Dur(*rtt), analysis.Config{
 		BinWidth:    *bin,
 		MaxInterval: *rng,
 	})
 	if err != nil {
-		fmt.Fprintln(stderr, "lossstat:", err)
-		return 1
+		return cli.Failf(stderr, "lossstat", "%v", err)
 	}
 	if *ascii {
 		err = core.WriteASCIIPDF(stdout, rep, 25)
@@ -70,8 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = core.WritePDF(stdout, rep)
 	}
 	if err != nil {
-		fmt.Fprintln(stderr, "lossstat:", err)
-		return 1
+		return cli.Failf(stderr, "lossstat", "%v", err)
 	}
 	return 0
 }

@@ -71,3 +71,28 @@ func TestRunUsageAndMissingFile(t *testing.T) {
 		t.Fatalf("missing file: exit %d", code)
 	}
 }
+
+// TestRunRejectsBadFlags pins the shared internal/cli contract: unknown
+// flags AND invalid values both diagnose to stderr and exit 2.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-no-such-flag", "x.csv"}, "flag provided but not defined"},
+		{"zero rtt", []string{"-rtt", "0s", "x.csv"}, "-rtt"},
+		{"negative bin", []string{"-bin", "-0.1", "x.csv"}, "-bin"},
+		{"range below bin", []string{"-bin", "0.5", "-range", "0.2", "x.csv"}, "-range"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("%s: stderr %q missing %q", tc.name, stderr.String(), tc.want)
+		}
+	}
+}

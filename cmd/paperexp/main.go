@@ -29,8 +29,6 @@ package main
 
 import (
 	"bytes"
-	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -40,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/planetlab"
@@ -64,8 +63,7 @@ type artifact struct {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("paperexp", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.NewFlagSet("paperexp", stderr)
 	var (
 		fig      = fs.String("fig", "", "paper artifacts to regenerate, comma-separated (1=Table 1, 2,3,4,7,8=figures, 5/6=Eq.1/2 table)")
 		all      = fs.Bool("all", false, "run everything, scenario catalog included")
@@ -83,16 +81,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile (after GC) to this file on exit")
 	)
-	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
+	if code, ok := cli.Parse(fs, args); !ok {
+		return code
 	}
-
 	if *reps < 1 {
-		fmt.Fprintf(stderr, "paperexp: -reps must be at least 1, got %d\n", *reps)
-		return 2
+		return cli.Usagef(stderr, "paperexp", "-reps must be at least 1, got %d", *reps)
 	}
 	// Profiling hooks, so hot-path work on the experiment drivers starts
 	// from a measured profile instead of a guess:

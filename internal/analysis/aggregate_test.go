@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// synthWorld builds a deterministic per-world loss-time stream: each
+// world has its own clock starting at zero and its own RTT, like fleet
+// worlds do.
+func synthWorld(seed uint64, n int, rtt sim.Duration) []sim.Time {
+	times := make([]sim.Time, n)
+	s := seed
+	var t sim.Time
+	for i := range times {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		// Bursty gaps: mostly sub-RTT, occasionally multi-RTT.
+		gap := sim.Duration(z%uint64(rtt/20)) + 1
+		if z%11 == 0 {
+			gap += sim.Duration(z % uint64(3*rtt))
+		}
+		t += sim.Time(gap)
+		times[i] = t
+	}
+	return times
+}
+
+// TestAggregateMatchesPooledSinglePass pins Aggregate against the pooled
+// single-pass computation over the concatenated per-world intervals: the
+// counting statistics exactly, the moment statistics to float tolerance.
+func TestAggregateMatchesPooledSinglePass(t *testing.T) {
+	type worldCase struct {
+		times []sim.Time
+		rtt   sim.Duration
+	}
+	worlds := []worldCase{
+		{synthWorld(1, 400, 80*sim.Millisecond), 80 * sim.Millisecond},
+		{synthWorld(2, 150, 200*sim.Millisecond), 200 * sim.Millisecond},
+		{synthWorld(3, 800, 30*sim.Millisecond), 30 * sim.Millisecond},
+	}
+
+	agg := NewAggregate(Config{})
+	var allIntervals []float64
+	var pooledDisp stats.DispersionStats
+	losses := 0
+	for _, w := range worlds {
+		an, err := NewStreaming(w.rtt, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, at := range w.times {
+			an.ObserveTime(at)
+		}
+		if err := agg.Absorb(an); err != nil {
+			t.Fatal(err)
+		}
+		losses += len(w.times)
+		rttF := float64(w.rtt)
+		for i := 1; i < len(w.times); i++ {
+			allIntervals = append(allIntervals, float64(w.times[i].Sub(w.times[i-1]))/rttF)
+		}
+		var c stats.DispersionCounter
+		c.Reset(1.0)
+		for _, at := range w.times {
+			c.Observe(float64(at) / rttF)
+		}
+		pooledDisp.Merge(c.Stats())
+	}
+
+	rep, err := agg.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.N != losses {
+		t.Fatalf("N=%d, want %d", rep.N, losses)
+	}
+	count := len(allIntervals)
+
+	// Histogram: exact equality with one histogram over the pooled stream.
+	whole := stats.NewHistogram(0.02, 100)
+	whole.AddAll(allIntervals)
+	if rep.Hist.Total() != whole.Total() || rep.Hist.Overflow != whole.Overflow {
+		t.Fatalf("hist total/overflow %d/%d, want %d/%d",
+			rep.Hist.Total(), rep.Hist.Overflow, whole.Total(), whole.Overflow)
+	}
+	for i := 0; i < whole.NumBins(); i++ {
+		if rep.Hist.Count(i) != whole.Count(i) {
+			t.Fatalf("hist bin %d: %d, want %d", i, rep.Hist.Count(i), whole.Count(i))
+		}
+	}
+
+	// Clustering fractions: exact.
+	frac := func(limit float64) float64 {
+		n := 0
+		for _, x := range allIntervals {
+			if x < limit {
+				n++
+			}
+		}
+		return float64(n) / float64(count)
+	}
+	if rep.FracBelow001 != frac(0.01) || rep.FracBelow025 != frac(0.25) || rep.FracBelow1 != frac(1.0) {
+		t.Fatalf("fractions (%v,%v,%v) differ from exact pooled", rep.FracBelow001, rep.FracBelow025, rep.FracBelow1)
+	}
+
+	// Lambda: pooled arrival-order mean.
+	var sum float64
+	for _, x := range allIntervals {
+		sum += x
+	}
+	if got, want := rep.Lambda, float64(count)/sum; math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Lambda %v, want %v", got, want)
+	}
+
+	// CoV: single Welford pass over the concatenated intervals.
+	var mom stats.Moments
+	for _, x := range allIntervals {
+		mom.Observe(x)
+	}
+	mean := sum / float64(count)
+	wantCoV := math.Sqrt(mom.M2/float64(count-1)) / mean
+	if math.Abs(rep.CoV-wantCoV)/wantCoV > 1e-9 {
+		t.Fatalf("CoV %v, want %v", rep.CoV, wantCoV)
+	}
+
+	// IoD: pooled per-world windows.
+	if got, want := rep.IndexOfDispersion, pooledDisp.Value(); got != want {
+		t.Fatalf("IoD %v, want pooled %v", got, want)
+	}
+
+	// KS: under the bound the merged reservoir holds every interval, so
+	// the statistic equals the batch KS of the pooled sample.
+	if !agg.KSExact() {
+		t.Fatal("expected the pooled reservoir to stay exact")
+	}
+	if got, want := rep.KSDistance, stats.KSExponential(allIntervals); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("KS %v, want %v", got, want)
+	}
+}
+
+// TestAggregateDeterministic pins byte-identical finalized reports for
+// identical absorption sequences, including reuse through Reset.
+func TestAggregateDeterministic(t *testing.T) {
+	run := func(agg *Aggregate) string {
+		agg.Reset(Config{KSReservoir: 64}) // force the approximate reservoir regime
+		for w := uint64(0); w < 5; w++ {
+			an, err := NewStreaming(50*sim.Millisecond, Config{KSReservoir: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, at := range synthWorld(10+w, 300, 50*sim.Millisecond) {
+				an.ObserveTime(at)
+			}
+			if err := agg.Absorb(an); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := agg.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d %v %v %v %v %v %v %v %v",
+			rep.N, rep.Lambda, rep.FracBelow001, rep.FracBelow025, rep.FracBelow1,
+			rep.CoV, rep.IndexOfDispersion, rep.KSDistance, rep.Intervals)
+	}
+	agg := NewAggregate(Config{})
+	if agg.KSExact() != true {
+		t.Fatal("empty aggregate should be exact")
+	}
+	a, b := run(agg), run(agg)
+	if a != b {
+		t.Fatalf("identical absorption sequences produced different reports:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestAggregateRejectsLayoutMismatch pins the bin-layout guard.
+func TestAggregateRejectsLayoutMismatch(t *testing.T) {
+	agg := NewAggregate(Config{})
+	an, err := NewStreaming(50*sim.Millisecond, Config{BinWidth: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Absorb(an); err == nil {
+		t.Fatal("absorbing a mismatched bin layout should error")
+	}
+}
+
+// TestBurstAggMatchesSingleTracker pins the pooled burst stats against
+// one tracker fed every world's events on a common clock — the per-world
+// reconstruction must recover the integer sums exactly.
+func TestBurstAggMatchesSingleTracker(t *testing.T) {
+	const gap = 10 * sim.Millisecond
+	var agg BurstAgg
+	var whole BurstTracker
+	whole.Reset(gap)
+	var offset sim.Time
+	for w := uint64(20); w < 24; w++ {
+		times := synthWorld(w, 120, 40*sim.Millisecond)
+		var bt BurstTracker
+		bt.Reset(gap)
+		for i, at := range times {
+			e := trace.LossEvent{At: at, Flow: int(w*100) + i%7}
+			bt.Observe(e)
+			// Offset worlds far apart on the common clock so world
+			// boundaries never join bursts.
+			e.At += offset
+			whole.Observe(e)
+		}
+		offset += times[len(times)-1].Add(1000 * gap)
+		agg.Add(bt.Stats())
+	}
+	got, want := agg.Stats(), whole.Stats()
+	if got != want {
+		t.Fatalf("pooled %+v, want single-tracker %+v", got, want)
+	}
+}

@@ -45,22 +45,17 @@ type Streaming struct {
 	rtt  sim.Duration
 	rttF float64
 
-	n       int      // loss events observed
-	last    sim.Time // time of the previous event
-	sum     float64  // Σ intervals, in arrival order (batch-identical mean)
-	welMean float64  // Welford running mean
-	welM2   float64  // Welford running Σ(x−mean)²
-	b001    int      // intervals < 0.01 RTT
-	b025    int      // intervals < 0.25 RTT
-	b1      int      // intervals < 1 RTT
+	n    int      // loss events observed
+	last sim.Time // time of the previous event
+	sum  float64  // Σ intervals, in arrival order (batch-identical mean)
+	mom  stats.Moments
+	b001 int // intervals < 0.01 RTT
+	b025 int // intervals < 0.25 RTT
+	b1   int // intervals < 1 RTT
 
 	hist *stats.Histogram
 	disp stats.DispersionCounter
-
-	reservoir []float64 // retained intervals for the KS test
-	resCap    int
-	seen      int64  // intervals offered to the reservoir
-	rngState  uint64 // SplitMix64 state for reservoir replacement
+	res  stats.Reservoir // retained intervals for the KS test
 
 	pmf    []float64 // Poisson reference scratch
 	ksSort []float64 // KS sort scratch
@@ -95,7 +90,7 @@ func (s *Streaming) Reset(rtt sim.Duration, cfg Config) error {
 	s.n = 0
 	s.last = 0
 	s.sum = 0
-	s.welMean, s.welM2 = 0, 0
+	s.mom.Reset()
 	s.b001, s.b025, s.b1 = 0, 0, 0
 
 	nbins := int(cfg.MaxInterval/cfg.BinWidth + 0.5)
@@ -106,12 +101,9 @@ func (s *Streaming) Reset(rtt sim.Duration, cfg Config) error {
 	}
 	s.disp.Reset(cfg.DispersionWindow)
 
-	s.resCap = cfg.KSReservoir
-	s.reservoir = s.reservoir[:0]
-	s.seen = 0
-	// Fixed seed: reservoir sampling must be a pure function of the event
-	// stream so sweeps stay worker-count invariant.
-	s.rngState = 0x9e3779b97f4a7c15
+	// The reservoir's fixed seed keeps sampling a pure function of the
+	// event stream, so sweeps stay worker-count invariant.
+	s.res.Reset(cfg.KSReservoir)
 	return nil
 }
 
@@ -140,11 +132,7 @@ func (s *Streaming) ObserveTime(t sim.Time) {
 	s.last = t
 
 	s.sum += iv
-	// Welford's update: numerically stable online mean/variance.
-	count := float64(s.n - 1)
-	d := iv - s.welMean
-	s.welMean += d / count
-	s.welM2 += d * (iv - s.welMean)
+	s.mom.Observe(iv) // Welford: numerically stable online mean/variance
 
 	s.hist.Add(iv)
 	if iv < 0.01 {
@@ -156,35 +144,12 @@ func (s *Streaming) ObserveTime(t sim.Time) {
 	if iv < 1.0 {
 		s.b1++
 	}
-	s.addReservoir(iv)
-}
-
-// addReservoir retains the interval for the KS test: every interval until
-// the bound, then classic reservoir sampling with a deterministic SplitMix64
-// stream so the sample — and therefore the report — is reproducible.
-func (s *Streaming) addReservoir(iv float64) {
-	s.seen++
-	if len(s.reservoir) < s.resCap {
-		s.reservoir = append(s.reservoir, iv)
-		return
-	}
-	if j := s.nextRand() % uint64(s.seen); j < uint64(s.resCap) {
-		s.reservoir[j] = iv
-	}
-}
-
-// nextRand advances the SplitMix64 state.
-func (s *Streaming) nextRand() uint64 {
-	s.rngState += 0x9e3779b97f4a7c15
-	z := s.rngState
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	s.res.Observe(iv)
 }
 
 // KSExact reports whether the KS statistic will be computed from the full
 // interval stream (true until the reservoir overflows).
-func (s *Streaming) KSExact() bool { return s.seen <= int64(s.resCap) }
+func (s *Streaming) KSExact() bool { return s.res.Exact() }
 
 // Finalize computes the report for everything observed so far. The
 // returned Report and its slices (Intervals, Hist, PoissonPMF) are owned
@@ -199,7 +164,7 @@ func (s *Streaming) Finalize() (*Report, error) {
 	mean := s.sum / float64(count)
 
 	s.out = Report{N: s.n, RTT: s.rtt, Hist: s.hist}
-	s.out.Intervals = s.reservoir
+	s.out.Intervals = s.res.Items()
 	if mean > 0 {
 		s.out.Lambda = 1 / mean
 	}
@@ -210,11 +175,11 @@ func (s *Streaming) Finalize() (*Report, error) {
 	s.out.FracBelow1 = float64(s.b1) / float64(count)
 	s.out.IndexOfDispersion = s.disp.Value()
 	if count > 1 && mean != 0 {
-		std := sampleStd(s.welM2, count)
+		std := sampleStd(s.mom.M2, count)
 		s.out.CoV = std / mean
 	}
-	s.out.KSDistance, s.ksSort = stats.KSExponentialInto(s.reservoir, s.ksSort)
-	s.out.RejectsPoisson = s.out.KSDistance > stats.KSCriticalValue(len(s.reservoir), 0.05)
+	s.out.KSDistance, s.ksSort = stats.KSExponentialInto(s.res.Items(), s.ksSort)
+	s.out.RejectsPoisson = s.out.KSDistance > stats.KSCriticalValue(len(s.res.Items()), 0.05)
 	return &s.out, nil
 }
 

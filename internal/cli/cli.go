@@ -1,0 +1,51 @@
+// Package cli holds the shared command-line conventions of the repo's
+// binaries (cmd/lossim, cmd/lossstat, cmd/lossprobe, cmd/paperexp,
+// cmd/fleet), so all of them fail the same way: unknown flags and bad
+// values print to stderr and exit 2, -h prints usage and exits 0, and
+// runtime failures exit 1. Each binary keeps the testable
+// run(args, stdout, stderr) shape and uses this package for the parse
+// and validation boilerplate.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+)
+
+// NewFlagSet builds a flag set with the shared conventions: errors are
+// returned (never os.Exit mid-parse) and all diagnostics go to stderr.
+func NewFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// Parse runs fs.Parse with the shared exit-code mapping: ok means the
+// caller proceeds; otherwise it returns the exit code — 0 for -h/-help
+// (usage already printed), 2 for a bad flag (error already printed).
+func Parse(fs *flag.FlagSet, args []string) (code int, ok bool) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, false
+		}
+		return 2, false
+	}
+	return 0, true
+}
+
+// Usagef reports an invalid flag value or argument list the same way a
+// parse error reads — "name: message" on stderr — and returns the usage
+// exit code 2.
+func Usagef(stderr io.Writer, name, format string, a ...any) int {
+	fmt.Fprintf(stderr, "%s: %s\n", name, fmt.Sprintf(format, a...))
+	return 2
+}
+
+// Failf reports a runtime failure ("name: message" on stderr) and
+// returns exit code 1.
+func Failf(stderr io.Writer, name, format string, a ...any) int {
+	fmt.Fprintf(stderr, "%s: %s\n", name, fmt.Sprintf(format, a...))
+	return 1
+}

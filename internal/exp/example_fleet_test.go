@@ -1,0 +1,24 @@
+package exp_test
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+// ExampleFleet shows the fleet engine's contract: run callbacks execute
+// concurrently on pooled arenas, but merge always sees world 0, 1, 2, …
+// — so an order-sensitive fold is identical for any shard count.
+func ExampleFleet() {
+	var order []int
+	err := exp.Fleet(exp.FleetOptions{Seed: 42, Shards: 4}, 8,
+		func(i int, seed int64, a *exp.Arena) (int, error) {
+			return i * i, nil // runs in parallel, any completion order
+		},
+		func(i int, seed int64, v int, err error) error {
+			order = append(order, v) // merges strictly in world order
+			return nil
+		})
+	fmt.Println(err, order)
+	// Output: <nil> [0 1 4 9 16 25 36 49]
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// fleetFold runs a fleet whose merge is deliberately order-sensitive (a
+// non-commutative fold) and returns the merge order plus the fold value.
+func fleetFold(t *testing.T, shards, n int) ([]int, uint64) {
+	t.Helper()
+	var order []int
+	var fold uint64 = 1469598103934665603
+	err := Fleet(FleetOptions{Seed: 42, Shards: shards}, n,
+		func(i int, seed int64, a *Arena) (uint64, error) {
+			if a == nil {
+				t.Error("nil arena")
+			}
+			if seed != sim.SubSeed(42, int64(i)) {
+				t.Errorf("world %d got seed %d", i, seed)
+			}
+			// Uneven work so completion order scrambles under parallelism.
+			if i%7 == 0 {
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+			}
+			return uint64(seed) ^ uint64(i), nil
+		},
+		func(i int, seed int64, v uint64, err error) error {
+			if err != nil {
+				return err
+			}
+			order = append(order, i)
+			fold = (fold ^ v) * 1099511628211
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	return order, fold
+}
+
+// TestFleetMergesInWorldOrder pins the turnstile: merges arrive 0..n-1
+// for every shard count, and the order-sensitive fold is shard-invariant.
+func TestFleetMergesInWorldOrder(t *testing.T) {
+	const n = 64
+	var want uint64
+	for _, shards := range []int{1, 2, 4, 16, 0} {
+		order, fold := fleetFold(t, shards, n)
+		if len(order) != n {
+			t.Fatalf("shards=%d: %d merges, want %d", shards, len(order), n)
+		}
+		for i, idx := range order {
+			if idx != i {
+				t.Fatalf("shards=%d: merge %d got world %d", shards, i, idx)
+			}
+		}
+		if shards == 1 {
+			want = fold
+		} else if fold != want {
+			t.Fatalf("shards=%d: fold %x, want the sequential %x", shards, fold, want)
+		}
+	}
+}
+
+// TestFleetRunErrorReachesMerge pins non-fatal world failures: the error
+// lands in merge with the right index and the fleet completes.
+func TestFleetRunErrorReachesMerge(t *testing.T) {
+	boom := errors.New("boom")
+	var failed, merged int
+	err := Fleet(FleetOptions{Shards: 4}, 20,
+		func(i int, seed int64, a *Arena) (int, error) {
+			if i%5 == 0 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i int, seed int64, v int, err error) error {
+			merged++
+			if i%5 == 0 {
+				if !errors.Is(err, boom) {
+					return fmt.Errorf("world %d: err=%v, want boom", i, err)
+				}
+				failed++
+			} else if err != nil || v != i {
+				return fmt.Errorf("world %d: v=%d err=%v", i, v, err)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if merged != 20 || failed != 4 {
+		t.Fatalf("merged=%d failed=%d, want 20/4", merged, failed)
+	}
+}
+
+// TestFleetRunPanicBecomesError pins panic capture on the run side.
+func TestFleetRunPanicBecomesError(t *testing.T) {
+	var got error
+	err := Fleet(FleetOptions{Shards: 2}, 4,
+		func(i int, seed int64, a *Arena) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		},
+		func(i int, seed int64, v int, err error) error {
+			if i == 2 {
+				got = err
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if got == nil || !strings.Contains(got.Error(), "kaboom") {
+		t.Fatalf("world 2 error = %v, want captured panic", got)
+	}
+}
+
+// TestFleetMergeErrorAborts pins the abort path: after merge fails at
+// world k, no later world merges, and Fleet returns the error.
+func TestFleetMergeErrorAborts(t *testing.T) {
+	stop := errors.New("stop")
+	for _, shards := range []int{1, 4} {
+		var last atomic.Int64
+		last.Store(-1)
+		err := Fleet(FleetOptions{Shards: shards}, 200,
+			func(i int, seed int64, a *Arena) (int, error) { return i, nil },
+			func(i int, seed int64, v int, err error) error {
+				last.Store(int64(i))
+				if i == 7 {
+					return stop
+				}
+				return nil
+			})
+		if !errors.Is(err, stop) {
+			t.Fatalf("shards=%d: err=%v, want stop", shards, err)
+		}
+		if last.Load() != 7 {
+			t.Fatalf("shards=%d: last merged world %d, want 7", shards, last.Load())
+		}
+	}
+}
+
+// TestFleetMergePanicAborts pins panic capture on the merge side.
+func TestFleetMergePanicAborts(t *testing.T) {
+	err := Fleet(FleetOptions{Shards: 3}, 50,
+		func(i int, seed int64, a *Arena) (int, error) { return i, nil },
+		func(i int, seed int64, v int, err error) error {
+			if i == 5 {
+				panic("merge kaboom")
+			}
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "merge kaboom") {
+		t.Fatalf("err=%v, want captured merge panic", err)
+	}
+}
+
+// TestFleetEmpty pins the trivial cases.
+func TestFleetEmpty(t *testing.T) {
+	err := Fleet(FleetOptions{}, 0,
+		func(i int, seed int64, a *Arena) (int, error) { t.Error("run called"); return 0, nil },
+		func(i int, seed int64, v int, err error) error { t.Error("merge called"); return nil })
+	if err != nil {
+		t.Fatalf("empty fleet: %v", err)
+	}
+}

@@ -26,6 +26,19 @@ type ScenarioConfig struct {
 	Warmup sim.Duration
 	// PktSize is the transport segment size in bytes (default 1000).
 	PktSize int
+
+	// RateScale, RTTScale and LossScale are the fleet-jitter multipliers:
+	// every link rate (and cross-traffic capacity), every propagation
+	// delay, and the Gilbert–Elliott bad-state entry rate of the scenario
+	// are scaled by these factors, so one registered scenario spans a
+	// parameter neighborhood instead of a point. Zero (and exactly 1)
+	// means nominal — the golden-pinned world — as an exact no-op: the
+	// scale path is skipped entirely, not multiplied by 1.0. Queue limits
+	// stay at their nominal sizing, so jitter perturbs the load relative
+	// to buffering rather than resizing the buffers. See ScaleSpec.
+	RateScale float64
+	RTTScale  float64
+	LossScale float64
 }
 
 // FillDefaults applies the paper-style defaults to zero fields.
@@ -60,6 +73,17 @@ type ScenarioResult struct {
 	// Events is the number of simulated events the world executed
 	// (sim.Scheduler.Fired), for throughput accounting.
 	Events uint64
+	// Flows is the number of traffic sources the world ran — transport
+	// flows plus cross-traffic noise sources — for fleet-scale
+	// accounting.
+	Flows int
+	// Analyzer is the streaming analyzer that observed the run's losses;
+	// set only in streaming mode (RunIn). It points into the arena the
+	// run executed on and is valid ONLY until that arena's next use — the
+	// fleet layer absorbs it into a cross-world aggregate on the worker
+	// goroutine before the arena is recycled. Everything else in the
+	// result is detached and safe to retain.
+	Analyzer *analysis.Streaming
 }
 
 // Scenario is one registered topology/workload combination.

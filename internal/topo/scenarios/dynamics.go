@@ -85,7 +85,7 @@ func dynamicPath(name string, delays []sim.Duration, rate int64, hopDelay sim.Du
 // hop, start flows and noise, run.
 func runDynamicPath(w *world, cfg topo.ScenarioConfig, spec topo.Spec,
 	buffer int, noiseRate int64, noiseFraction float64) (*topo.ScenarioResult, error) {
-	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := w.network(cfg, spec)
 	if err != nil {
 		return nil, err
 	}

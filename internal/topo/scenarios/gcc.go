@@ -169,7 +169,7 @@ func RunShowdownWorld(shape ShowdownShape, kind topo.FlowKind, cfg topo.Scenario
 	for i := range spec.Flows {
 		spec.Flows[i].Kind = kind
 	}
-	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := w.network(cfg, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -86,10 +86,17 @@ type world struct {
 	warm  sim.Time
 	pool  *netsim.PacketPool
 	arena *exp.Arena
+	flows int // traffic sources started (transports + noise), for fleet accounting
+
+	// Effective fleet-jitter multipliers (1 = nominal); network applies
+	// them to every spec and noiseInto to cross-traffic capacity, so one
+	// cfg jitters the whole world consistently.
+	rateScale, rttScale, lossScale float64
 }
 
 func newWorld(cfg topo.ScenarioConfig, a *exp.Arena) *world {
 	w := &world{warm: sim.Time(cfg.Warmup), arena: a}
+	w.rateScale, w.rttScale, w.lossScale = cfg.EffScales()
 	if a != nil {
 		w.sched = a.Scheduler()
 		w.rec = a.Recorder()
@@ -100,6 +107,15 @@ func newWorld(cfg topo.ScenarioConfig, a *exp.Arena) *world {
 	w.rec = &trace.Recorder{}
 	w.pool = netsim.NewPacketPool()
 	return w
+}
+
+// network builds (or resets) the world's network from spec with the
+// config's jitter scales applied — the one place every spec-based
+// scenario goes through, so fleet jitter covers the whole catalog. The
+// build seed is the uniform SubSeed(cfg.Seed, 2) world tag.
+func (w *world) network(cfg topo.ScenarioConfig, spec topo.Spec) (*topo.Network, error) {
+	spec = topo.ScaleSpec(spec, w.rateScale, w.rttScale, w.lossScale)
+	return topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
 }
 
 // observeDrops records post-warmup losses at the given ports. Ports fire
@@ -144,11 +160,13 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 			return nil, err
 		}
 		return &topo.ScenarioResult{
-			Report:  rep.Clone(), // detach from the arena's scratch
-			MeanRTT: meanRTT,
-			Bursts:  bt.Stats(),
-			Drops:   w.rec.Len(),
-			Events:  w.sched.Fired(),
+			Report:   rep.Clone(), // detach from the arena's scratch
+			MeanRTT:  meanRTT,
+			Bursts:   bt.Stats(),
+			Drops:    w.rec.Len(),
+			Events:   w.sched.Fired(),
+			Flows:    w.flows,
+			Analyzer: an, // arena-owned; valid until the arena's next use
 		}, nil
 	}
 	report, err := analysis.AnalyzeTrace(w.rec, meanRTT, analysis.Config{})
@@ -162,6 +180,7 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 		Bursts:  analysis.SummarizeBursts(w.rec.Events(), meanRTT/4),
 		Drops:   w.rec.Len(),
 		Events:  w.sched.Fired(),
+		Flows:   w.flows,
 	}, nil
 }
 
@@ -171,6 +190,7 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 // synchronization.
 func (w *world) startFlows(net *topo.Network, cfg topo.ScenarioConfig, ssthresh float64, spread sim.Duration) {
 	n := net.NumFlows()
+	w.flows += n
 	for i := 0; i < n; i++ {
 		at := sim.Time(sim.Duration(i) * spread / sim.Duration(n))
 		switch net.Flow(i).Kind {
@@ -209,10 +229,13 @@ func (w *world) absorb(net *topo.Network, names ...string) {
 }
 
 // noiseInto starts an on–off noise ensemble injecting into port, addressed
-// from srcAddr to the absorbing node dst.
+// from srcAddr to the absorbing node dst. capacity is the NOMINAL rate of
+// the congested resource; the world's rate jitter is applied here so the
+// relative noise load survives fleet scaling.
 func (w *world) noiseInto(net *topo.Network, port *netsim.Port, n int, capacity int64,
 	fraction float64, flowBase int, srcAddr int, dst string, seed int64) {
-	for _, nz := range crosstraffic.NoiseSet(net.Sched, port, n, capacity,
+	w.flows += n
+	for _, nz := range crosstraffic.NoiseSet(net.Sched, port, n, topo.ScaleRate(capacity, w.rateScale),
 		fraction, flowBase, srcAddr, net.Addr(dst), seed, w.pool) {
 		nz.Start()
 	}
@@ -247,10 +270,23 @@ func runDumbbell(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, e
 	meanRTT /= flows
 	buffer := bufferFor(rate, meanRTT, cfg.PktSize)
 
+	// The dumbbell bypasses the Spec path, so its fleet jitter is applied
+	// directly: scaled bottleneck rate and access delays (and therefore
+	// the normalization RTT), nominal buffer like every other scenario.
+	srate := topo.ScaleRate(rate, w.rateScale)
+	sdelays := delays
+	if w.rttScale != 1 {
+		sdelays = make([]sim.Duration, len(delays))
+		for i, dl := range delays {
+			sdelays[i] = topo.ScaleDuration(dl, w.rttScale)
+		}
+	}
+	meanRTT = topo.ScaleDuration(meanRTT, w.rttScale)
+
 	d := topo.NewDumbbellIn(w.arena, w.sched, netsim.DumbbellConfig{
-		BottleneckRate: rate,
+		BottleneckRate: srate,
 		AccessRate:     1_000_000_000,
-		AccessDelays:   delays,
+		AccessDelays:   sdelays,
 		Buffer:         buffer,
 	})
 	d.AttachPool(w.pool)
@@ -310,7 +346,7 @@ func runParkingLot(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult,
 		spec.Flows = append(spec.Flows, topo.FlowSpec{From: snd, To: rcv})
 	}
 
-	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := w.network(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +428,7 @@ func runAccessTree(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult,
 		spec.Flows = append(spec.Flows, topo.FlowSpec{From: leaf, To: "server"})
 	}
 
-	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := w.network(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -478,7 +514,7 @@ func runHeteroMesh(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult,
 		})
 	}
 
-	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := w.network(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
