@@ -303,6 +303,16 @@ func (e *executor) writeScenario(w io.Writer, sweep *core.ScenarioSweep) error {
 			return err
 		}
 	}
+	// Batching efficiency: scheduler events per forwarded packet, the ratio
+	// the port's delivery rings and serialization chains drive down (see
+	// ARCHITECTURE.md, "Link service batching").
+	if sweep.Forwarded > 0 {
+		if _, err := fmt.Fprintf(w, "# batching events=%d forwarded=%d events_per_pkt=%.2f\n",
+			sweep.Events, sweep.Forwarded,
+			float64(sweep.Events)/float64(sweep.Forwarded)); err != nil {
+			return err
+		}
+	}
 	if len(sweep.Results) > 1 {
 		s := sweep.Summary
 		_, err := fmt.Fprintf(w,

@@ -87,6 +87,12 @@ type ScenarioResult struct {
 	// (Scheduler.Fired) — the denominator-free half of the events/sec
 	// throughput cmd/paperexp prints per artifact.
 	Events uint64
+	// Forwarded is the number of packet transmissions the world's ports
+	// performed. Events/Forwarded — the scheduler events each forwarded
+	// packet cost — is the batching efficiency metric cmd/paperexp prints
+	// next to the throughput line (see ARCHITECTURE.md, "Link service
+	// batching").
+	Forwarded uint64
 }
 
 // RunFigure2 executes the NS-2-style scenario and analyzes the bottleneck
@@ -189,5 +195,5 @@ func runFigure2(cfg Fig2Config, a *exp.Arena) (*ScenarioResult, error) {
 
 	sched.RunUntil(sim.Time(cfg.Duration))
 
-	return m.finish("figure 2 scenario", meanRTT, sched.Fired())
+	return m.finish("figure 2 scenario", meanRTT, sched.Fired(), d.Net.Forwarded())
 }

@@ -171,5 +171,5 @@ func runFigure3(cfg Fig3Config, a *exp.Arena) (*ScenarioResult, error) {
 
 	// Quantization can reorder equal-tick events only in appearance; the
 	// recorder is still nondecreasing because Quantize is monotone.
-	return m.finish("figure 3 scenario", meanRTT, sched.Fired())
+	return m.finish("figure 3 scenario", meanRTT, sched.Fired(), d.Net.Forwarded())
 }

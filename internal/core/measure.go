@@ -52,8 +52,9 @@ func newMeasurement(a *exp.Arena, meanRTT sim.Duration) (*measurement, error) {
 
 // finish checks the drop count and produces the scenario result for
 // whichever mode the measurement runs in. figure names the run for the
-// too-few-drops error.
-func (m *measurement) finish(figure string, meanRTT sim.Duration, events uint64) (*ScenarioResult, error) {
+// too-few-drops error. events and forwarded are the run's scheduler and
+// port counters (Scheduler.Fired, Network.Forwarded).
+func (m *measurement) finish(figure string, meanRTT sim.Duration, events, forwarded uint64) (*ScenarioResult, error) {
 	if m.rec.Len() < 2 {
 		return nil, fmt.Errorf("core: %s produced %d drops; increase duration or load",
 			figure, m.rec.Len())
@@ -64,11 +65,12 @@ func (m *measurement) finish(figure string, meanRTT sim.Duration, events uint64)
 			return nil, err
 		}
 		return &ScenarioResult{
-			Report:  rep.Clone(), // detach: the arena recycles rep's slices
-			MeanRTT: meanRTT,
-			Bursts:  m.bt.Stats(),
-			Drops:   m.rec.Len(),
-			Events:  events,
+			Report:    rep.Clone(), // detach: the arena recycles rep's slices
+			MeanRTT:   meanRTT,
+			Bursts:    m.bt.Stats(),
+			Drops:     m.rec.Len(),
+			Events:    events,
+			Forwarded: forwarded,
 		}, nil
 	}
 	report, err := analysis.AnalyzeTrace(m.rec, meanRTT, analysis.Config{})
@@ -76,11 +78,12 @@ func (m *measurement) finish(figure string, meanRTT sim.Duration, events uint64)
 		return nil, err
 	}
 	return &ScenarioResult{
-		Report:  report,
-		Trace:   m.rec,
-		MeanRTT: meanRTT,
-		Bursts:  analysis.SummarizeBursts(m.rec.Events(), meanRTT/4),
-		Drops:   m.rec.Len(),
-		Events:  events,
+		Report:    report,
+		Trace:     m.rec,
+		MeanRTT:   meanRTT,
+		Bursts:    analysis.SummarizeBursts(m.rec.Events(), meanRTT/4),
+		Drops:     m.rec.Len(),
+		Events:    events,
+		Forwarded: forwarded,
 	}, nil
 }

@@ -30,12 +30,13 @@ func RunScenario(name string, cfg topo.ScenarioConfig) (*ScenarioResult, error) 
 
 func convertScenarioResult(res *topo.ScenarioResult) *ScenarioResult {
 	return &ScenarioResult{
-		Report:  res.Report,
-		Trace:   res.Trace,
-		MeanRTT: res.MeanRTT,
-		Bursts:  res.Bursts,
-		Drops:   res.Drops,
-		Events:  res.Events,
+		Report:    res.Report,
+		Trace:     res.Trace,
+		MeanRTT:   res.MeanRTT,
+		Bursts:    res.Bursts,
+		Drops:     res.Drops,
+		Events:    res.Events,
+		Forwarded: res.Forwarded,
 	}
 }
 

@@ -55,6 +55,10 @@ type ScenarioSweep struct {
 	// Events totals the simulated events across the successful
 	// replications.
 	Events uint64
+	// Forwarded totals the packet transmissions across the successful
+	// replications; Events/Forwarded is the events-per-forwarded-packet
+	// batching metric cmd/paperexp prints per scenario artifact.
+	Forwarded uint64
 }
 
 // SweepFigure2 replicates the NS-2 scenario across derived seeds. The
@@ -99,6 +103,7 @@ func collectScenarioSweep(base int64, results []exp.Result[*ScenarioResult]) (*S
 		s.Results = append(s.Results, r.Value)
 		s.Seeds = append(s.Seeds, seed)
 		s.Events += r.Value.Events
+		s.Forwarded += r.Value.Forwarded
 		reports = append(reports, r.Value.Report)
 	}
 	if len(s.Results) == 0 {

@@ -93,8 +93,8 @@ func TestPortDropsWhenFull(t *testing.T) {
 	if len(c.pkts) != 3 {
 		t.Fatalf("delivered %d", len(c.pkts))
 	}
-	if port.Dropped != 1 || port.Forwarded != 3 {
-		t.Fatalf("counters: dropped=%d forwarded=%d", port.Dropped, port.Forwarded)
+	if port.Dropped != 1 || port.Forwarded() != 3 {
+		t.Fatalf("counters: dropped=%d forwarded=%d", port.Dropped, port.Forwarded())
 	}
 }
 
@@ -143,8 +143,8 @@ func TestPortTxBytesCounter(t *testing.T) {
 	port.Handle(mkPkt(0, 400))
 	port.Handle(mkPkt(1, 600))
 	s.Run()
-	if port.TxBytes != 1000 {
-		t.Fatalf("TxBytes = %d", port.TxBytes)
+	if port.TxBytes() != 1000 {
+		t.Fatalf("TxBytes = %d", port.TxBytes())
 	}
 }
 

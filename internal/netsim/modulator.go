@@ -192,12 +192,7 @@ func (m *LinkModulator) onTick() {
 	switch m.program {
 	case modSteps:
 		s := m.steps[m.idx]
-		if s.Rate > 0 {
-			m.link.Rate = s.Rate
-		}
-		if s.Delay > 0 {
-			m.link.Delay = s.Delay
-		}
+		m.link.Retune(s.Rate, s.Delay)
 		m.Retunes++
 		m.idx++
 		if m.idx == len(m.steps) {
@@ -208,19 +203,19 @@ func (m *LinkModulator) onTick() {
 			m.idx = 0
 			m.base = m.base.Add(m.loopEvery)
 		}
-		m.timer = m.sched.At(m.base.Add(m.steps[m.idx].At), m.tick)
+		m.timer = m.sched.Rearm(m.base.Add(m.steps[m.idx].At))
 	case modOscillate:
 		elapsed := m.sched.Now() - m.base
 		phase := 2 * math.Pi * float64(elapsed) / float64(m.period)
 		mid := float64(m.min+m.max) / 2
 		amp := float64(m.max-m.min) / 2
 		m.setRate(mid + amp*math.Sin(phase))
-		m.timer = m.sched.After(m.interval, m.tick)
+		m.timer = m.sched.Rearm(m.sched.Now().Add(m.interval))
 	case modWalk:
 		u := 2*m.rng.Float64() - 1
 		m.cur = clampF(m.cur*math.Exp(u*m.logStep), float64(m.min), float64(m.max))
 		m.setRate(m.cur)
-		m.timer = m.sched.After(m.interval, m.tick)
+		m.timer = m.sched.Rearm(m.sched.Now().Add(m.interval))
 	}
 }
 
@@ -229,7 +224,7 @@ func (m *LinkModulator) setRate(r float64) {
 	if rate < 1 {
 		rate = 1 // Link.TxTime divides by Rate; the clamp keeps it legal
 	}
-	m.link.Rate = rate
+	m.link.Retune(rate, 0)
 	m.Retunes++
 }
 

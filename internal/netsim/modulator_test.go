@@ -192,7 +192,7 @@ func TestModulatedPortConservation(t *testing.T) {
 				return false // duplicated or double-counted
 			}
 		}
-		if int(port.Forwarded) != delivered || int(port.Dropped) != dropped {
+		if int(port.Forwarded()) != delivered || int(port.Dropped) != dropped {
 			return false
 		}
 		return port.QueueLen() == 0
@@ -246,7 +246,7 @@ func TestLinkLossConservation(t *testing.T) {
 			return false
 		}
 		// Forwarded counts serialization completions, wire drops included.
-		if int(port.Forwarded) != delivered+int(port.LinkDropped) {
+		if int(port.Forwarded()) != delivered+int(port.LinkDropped) {
 			return false
 		}
 		return port.QueueLen() == 0
@@ -274,9 +274,9 @@ func TestLinkLossAlways(t *testing.T) {
 	// offered packet must come back on top of that baseline.
 	base := len(pool.free)
 	s.Run()
-	if port.LinkDropped != offered || port.Forwarded != offered {
+	if port.LinkDropped != offered || port.Forwarded() != offered {
 		t.Fatalf("LinkDropped=%d Forwarded=%d, want %d/%d",
-			port.LinkDropped, port.Forwarded, offered, offered)
+			port.LinkDropped, port.Forwarded(), offered, offered)
 	}
 	if got := len(pool.free); got != base+offered {
 		t.Fatalf("pool holds %d packets, want %d recycled", got, base+offered)

@@ -51,21 +51,51 @@ func (tm Timer) Time() Time {
 }
 
 // entry is one element of the scheduler's event queue: the ordering key
-// (time, then FIFO sequence for simultaneous events) plus the generation
-// snapshot that identifies whether the referenced event is still the one
-// this entry was pushed for. Cancelled events are deleted lazily — the
-// entry stays in the heap as a tombstone until its time comes up and the
-// generation mismatch discards it in O(1).
+// (time, arming genealogy, FIFO sequence) plus the generation snapshot that
+// identifies whether the referenced event is still the one this entry was
+// pushed for. Cancelled events are deleted lazily — the entry stays in the
+// heap as a tombstone until its time comes up and the generation mismatch
+// discards it in O(1).
+//
+// armT is the virtual instant the event was armed at — s.now for the
+// ordinary At/After family, or a caller-asserted instant for the AsOf
+// variants. armT2 and armT3 extend the key two generations up the arming
+// ancestry: the instant the event's parent (the event whose callback armed
+// this one) was armed, and the parent's parent in turn. For truthfully
+// armed events the chain is threaded automatically from the firing event's
+// own keys, and because seq is strictly monotone over arming order, sorting
+// simultaneous events by (armT, armT2, armT3, seq) is identical to sorting
+// by seq alone — at every depth the ancestor keys can only agree with the
+// seq order they summarize. The genealogy matters when a coalesced timer
+// stands in for an event a reference execution would have armed elsewhere
+// (see AtAsOf): two stand-ins can tie not just at the due time but at the
+// replaced events' arming instants too — two same-geometry ports finishing
+// serialization in the same nanosecond — and then the reference breaks the
+// tie by the arming order of the parents, which the deeper keys carry and
+// a plain (armT, seq) cannot. Ties through all three generations fall to
+// seq, the one residual the stand-in cannot reproduce.
 type entry struct {
-	t   Time
-	seq uint64
-	gen uint64
-	e   *event
+	t     Time
+	armT  Time
+	armT2 Time
+	armT3 Time
+	seq   uint64
+	gen   uint64
+	e     *event
 }
 
 func entryLess(a, b entry) bool {
 	if a.t != b.t {
 		return a.t < b.t
+	}
+	if a.armT != b.armT {
+		return a.armT < b.armT
+	}
+	if a.armT2 != b.armT2 {
+		return a.armT2 < b.armT2
+	}
+	if a.armT3 != b.armT3 {
+		return a.armT3 < b.armT3
 	}
 	return a.seq < b.seq
 }
@@ -92,8 +122,8 @@ const (
 // many CPUs, run independent Schedulers in parallel (see internal/exp), one
 // per replication, never one Scheduler across goroutines.
 //
-// The core queue is a value-based 4-ary min-heap ordered by (time,
-// insertion sequence): flatter than a binary heap (fewer cache-missing
+// The core queue is a value-based 4-ary min-heap ordered by (time, arming
+// genealogy, insertion sequence): flatter than a binary heap (fewer cache-missing
 // levels per sift) and free of the container/heap interface dispatch. A
 // two-level hierarchical timing wheel fronts the heap: near-future events
 // land in fixed slots with O(1) insert, and a slot's entries are flushed
@@ -126,6 +156,20 @@ type Scheduler struct {
 	// drain, when set, receives the argument of every live argument-carrying
 	// event that Reset abandons. See SetResetDrain.
 	drain func(any)
+
+	// firing is the event whose callback is currently executing. Step
+	// defers recycling the fired event until the callback returns so the
+	// callback can re-arm it in place via Rearm — the serialization-chain
+	// path in netsim re-uses one event per busy period this way instead of
+	// paying a freelist round trip per packet. firingArmT, firingArmT2 and
+	// inFire expose the firing event's arming instant and its parent's to
+	// callbacks (FiringAsOf, FiringLineage) and seed the genealogy keys of
+	// events armed inside the callback; unlike firing, they stay valid
+	// through a Rearm until the callback returns.
+	firing      *event
+	firingArmT  Time
+	firingArmT2 Time
+	inFire      bool
 }
 
 // SetResetDrain installs a hook that Reset hands the argument of every
@@ -197,6 +241,10 @@ func (s *Scheduler) Reset() {
 	s.live = 0
 	s.fired = 0
 	s.halted = false
+	s.firing = nil
+	s.firingArmT = 0
+	s.firingArmT2 = 0
+	s.inFire = false
 }
 
 // resetSlot releases a wheel slot's live events and truncates it in place,
@@ -254,6 +302,13 @@ func (s *Scheduler) alloc() *event {
 // argument drops their references so freelisted events pin no world state.
 func (s *Scheduler) release(e *event) {
 	e.gen++
+	s.releaseFired(e)
+}
+
+// releaseFired recycles an event whose generation was already bumped (at
+// fire time, in Step). Kept separate from release so Rearm can intercept
+// the event between the bump and the recycle.
+func (s *Scheduler) releaseFired(e *event) {
 	e.fn = nil
 	e.afn = nil
 	e.arg = nil
@@ -262,10 +317,26 @@ func (s *Scheduler) release(e *event) {
 	s.free = e
 }
 
-// schedule queues an event at absolute time t.
-func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Timer {
+// armedNow reports the truthful genealogy keys for an event armed at this
+// moment: the arming instant is now, and the ancestor keys are those of the
+// currently firing event. Outside a callback (world setup, manual stepping)
+// every key is now, which orders after all already-fired work, as it must.
+func (s *Scheduler) armedNow() (armT, armT2, armT3 Time) {
+	if s.inFire {
+		return s.now, s.firingArmT, s.firingArmT2
+	}
+	return s.now, s.now, s.now
+}
+
+// schedule queues an event at absolute time t, armed as of virtual instant
+// armT with ancestor instants armT2, armT3 (armedNow() for the truthful
+// entry points).
+func (s *Scheduler) schedule(t, armT, armT2, armT3 Time, fn func(), afn func(any), arg any) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	if armT > t {
+		panic(fmt.Sprintf("sim: armed-as-of %v after due time %v", armT, t))
 	}
 	// When both wheels are empty the clock can outrun the cursors (heap
 	// events fire without flushing anything). Re-base then, so near-future
@@ -281,7 +352,7 @@ func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any) Timer {
 	e.fn = fn
 	e.afn = afn
 	e.arg = arg
-	s.place(entry{t: t, seq: s.seq, gen: e.gen, e: e})
+	s.place(entry{t: t, armT: armT, armT2: armT2, armT3: armT3, seq: s.seq, gen: e.gen, e: e})
 	s.seq++
 	s.live++
 	return Timer{e: e, gen: e.gen}
@@ -410,14 +481,18 @@ func (s *Scheduler) cascade() {
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // that is always a logic error in a discrete-event model.
-func (s *Scheduler) At(t Time, fn func()) Timer { return s.schedule(t, fn, nil, nil) }
+func (s *Scheduler) At(t Time, fn func()) Timer {
+	a1, a2, a3 := s.armedNow()
+	return s.schedule(t, a1, a2, a3, fn, nil, nil)
+}
 
 // After schedules fn to run d from now. Negative d panics.
 func (s *Scheduler) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return s.schedule(s.now.Add(d), fn, nil, nil)
+	a1, a2, a3 := s.armedNow()
+	return s.schedule(s.now.Add(d), a1, a2, a3, fn, nil, nil)
 }
 
 // AtArg schedules fn(arg) at absolute time t. Passing the argument through
@@ -425,7 +500,8 @@ func (s *Scheduler) After(d Duration, fn func()) Timer {
 // allocating a capturing closure per event (a pointer in an interface does
 // not allocate); netsim's per-packet delivery path relies on this.
 func (s *Scheduler) AtArg(t Time, fn func(any), arg any) Timer {
-	return s.schedule(t, nil, fn, arg)
+	a1, a2, a3 := s.armedNow()
+	return s.schedule(t, a1, a2, a3, nil, fn, arg)
 }
 
 // AfterArg schedules fn(arg) to run d from now. Negative d panics.
@@ -433,7 +509,70 @@ func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return s.schedule(s.now.Add(d), nil, fn, arg)
+	a1, a2, a3 := s.armedNow()
+	return s.schedule(s.now.Add(d), a1, a2, a3, nil, fn, arg)
+}
+
+// AtAsOf schedules fn at absolute time t as if it had been armed at virtual
+// instant armedAt by a callback itself armed at parentAt, whose arming
+// callback was in turn armed at grandAt. It exists for coalesced timers
+// that stand in for events a reference execution would have armed one per
+// packet: with a truthful genealogy (the instants the replaced event and
+// its two nearest ancestors would have been created), every same-nanosecond
+// tie against ordinary events resolves exactly as it would have in the
+// reference schedule, because simultaneous events fire in (arming
+// genealogy, sequence) order and sequence is itself monotone over arming
+// time — including ties where two stand-ins replace events armed at the
+// same instant, which the reference orders by the parents' own arming
+// instants. The keys must be non-increasing up the chain (grandAt ≤
+// parentAt ≤ armedAt ≤ t) and may lie in the future relative to now — they
+// are ordering keys, not constraints on when the call is made.
+func (s *Scheduler) AtAsOf(t, armedAt, parentAt, grandAt Time, fn func()) Timer {
+	checkLineage(t, armedAt, parentAt, grandAt)
+	return s.schedule(t, armedAt, parentAt, grandAt, fn, nil, nil)
+}
+
+// AtArgAsOf is AtAsOf for an argument-carrying callback.
+func (s *Scheduler) AtArgAsOf(t, armedAt, parentAt, grandAt Time, fn func(any), arg any) Timer {
+	checkLineage(t, armedAt, parentAt, grandAt)
+	return s.schedule(t, armedAt, parentAt, grandAt, nil, fn, arg)
+}
+
+// checkLineage validates an explicit arming genealogy: each ancestor was
+// armed no later than the event it armed.
+func checkLineage(t, armedAt, parentAt, grandAt Time) {
+	if armedAt > t || parentAt > armedAt || grandAt > parentAt {
+		panic(fmt.Sprintf("sim: arming genealogy %v ≥ %v ≥ %v ≥ %v violated",
+			t, armedAt, parentAt, grandAt))
+	}
+}
+
+// FiringAsOf reports the arming instant of the event whose callback is
+// currently executing — the armedAt it was scheduled with, which for
+// ordinary events is the time of the callback that armed them. Outside a
+// callback it reports Now(), which compares after every arming instant of
+// already-fired work, as an outside observer should. Hot-path consumers
+// (netsim's batched port) use it to decide whether a reference execution
+// would already have fired a coalesced-away event at this same nanosecond:
+// the reference fires simultaneous events in arming order, so "armed before
+// the currently-firing event was" means "already happened".
+func (s *Scheduler) FiringAsOf() Time {
+	if s.inFire {
+		return s.firingArmT
+	}
+	return s.now
+}
+
+// FiringLineage reports the first two genealogy keys of the event whose
+// callback is currently executing: its own arming instant (FiringAsOf) and
+// its parent's. Consumers refining a FiringAsOf comparison use the second
+// key to break the tie one generation deeper when the arming instants
+// themselves collide. Outside a callback both report Now().
+func (s *Scheduler) FiringLineage() (armedAt, parentAt Time) {
+	if s.inFire {
+		return s.firingArmT, s.firingArmT2
+	}
+	return s.now, s.now
 }
 
 // Cancel removes the timer's callback from the queue if it has not fired.
@@ -454,6 +593,84 @@ func (s *Scheduler) Cancel(tm Timer) {
 	s.live--
 }
 
+// Reschedule moves a still-pending timer to absolute time t without the
+// free-and-realloc round trip of Cancel + At: the event struct is re-timed
+// in place. A wheel-resident event is swap-removed from its slot and
+// re-placed; a heap-resident one leaves its old entry behind as a lazy
+// tombstone (exactly like Cancel) and pushes a fresh entry, so the cost is
+// one O(log n) sift with no freelist traffic either way. The returned
+// Timer supersedes tm, which goes inert; callers re-arming a recurring
+// timer must keep the new handle. Rescheduling an inert timer reports
+// false and changes nothing; t in the past panics. The callback and
+// argument ride along unchanged — Reschedule re-times, never re-targets.
+func (s *Scheduler) Reschedule(tm Timer, t Time) (Timer, bool) {
+	a1, a2, a3 := s.armedNow()
+	return s.rescheduleAsOf(tm, t, a1, a2, a3)
+}
+
+// RescheduleAsOf is Reschedule with an explicit arming genealogy for the
+// re-timed event's tie-break keys (see AtAsOf).
+func (s *Scheduler) RescheduleAsOf(tm Timer, t, armedAt, parentAt, grandAt Time) (Timer, bool) {
+	checkLineage(t, armedAt, parentAt, grandAt)
+	return s.rescheduleAsOf(tm, t, armedAt, parentAt, grandAt)
+}
+
+func (s *Scheduler) rescheduleAsOf(tm Timer, t, armT, armT2, armT3 Time) (Timer, bool) {
+	e := tm.e
+	if e == nil || e.gen != tm.gen {
+		return Timer{}, false
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", t, s.now))
+	}
+	if e.wlevel != 0 {
+		s.wheelRemove(e)
+	}
+	e.gen++ // orphans the old heap entry (if any) and every old handle
+	e.t = t
+	s.place(entry{t: t, armT: armT, armT2: armT2, armT3: armT3, seq: s.seq, gen: e.gen, e: e})
+	s.seq++
+	return Timer{e: e, gen: e.gen}, true
+}
+
+// Rearm re-schedules the event whose callback is currently executing to
+// fire again at absolute time t, with the same callback and argument. It
+// is the chain primitive for self-perpetuating timers (a port's
+// serialization-complete handler starting the next transmission, a
+// modulator tick arming the next tick): the firing event never touches the
+// freelist, so a chain of N firings costs N heap pushes and zero
+// alloc/release pairs. Rearm may be called at most once per firing, only
+// from inside the callback (panics otherwise), and t must not be in the
+// past. Handles taken before the firing are already inert — keep the
+// returned Timer to cancel or re-time the chain.
+func (s *Scheduler) Rearm(t Time) Timer {
+	a1, a2, a3 := s.armedNow()
+	return s.rearmAsOf(t, a1, a2, a3)
+}
+
+// RearmAsOf is Rearm with an explicit arming genealogy for the re-armed
+// event's tie-break keys (see AtAsOf).
+func (s *Scheduler) RearmAsOf(t, armedAt, parentAt, grandAt Time) Timer {
+	checkLineage(t, armedAt, parentAt, grandAt)
+	return s.rearmAsOf(t, armedAt, parentAt, grandAt)
+}
+
+func (s *Scheduler) rearmAsOf(t, armT, armT2, armT3 Time) Timer {
+	e := s.firing
+	if e == nil {
+		panic("sim: Rearm outside a firing callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: rearm at %v before now %v", t, s.now))
+	}
+	s.firing = nil
+	e.t = t
+	s.place(entry{t: t, armT: armT, armT2: armT2, armT3: armT3, seq: s.seq, gen: e.gen, e: e})
+	s.seq++
+	s.live++
+	return Timer{e: e, gen: e.gen}
+}
+
 // Halt stops the currently executing Run/RunUntil after the current event
 // returns. Queued events are retained, so the run can be resumed.
 func (s *Scheduler) Halt() { s.halted = true }
@@ -471,15 +688,27 @@ func (s *Scheduler) Step() bool {
 		if e.gen != en.gen {
 			continue // tombstone of a cancelled event
 		}
-		fn, afn, arg := e.fn, e.afn, e.arg
-		s.release(e)
+		// The generation bump happens at fire time — handles go inert
+		// before the callback runs, exactly as with an immediate release —
+		// but the struct is recycled only after the callback returns, so
+		// the callback may Rearm it in place for the next link of a chain.
+		e.gen++
 		s.live--
 		s.now = en.t
 		s.fired++
-		if afn != nil {
-			afn(arg)
+		s.firing = e
+		s.firingArmT = en.armT
+		s.firingArmT2 = en.armT2
+		s.inFire = true
+		if e.afn != nil {
+			e.afn(e.arg)
 		} else {
-			fn()
+			e.fn()
+		}
+		s.inFire = false
+		if s.firing == e {
+			s.firing = nil
+			s.releaseFired(e)
 		}
 		return true
 	}

@@ -177,6 +177,19 @@ func (n *Network) Ports() []PortInfo {
 	return out
 }
 
+// Forwarded sums Port.Forwarded over every directed port: how many packet
+// transmissions the network performed. Together with the scheduler's Fired
+// counter it yields the events-per-forwarded-packet ratio that measures
+// how much scheduler traffic the link-service batching saves (see
+// ARCHITECTURE.md, "Link service batching").
+func (n *Network) Forwarded() uint64 {
+	var sum uint64
+	for _, e := range n.edges {
+		sum += n.ports[e].Forwarded()
+	}
+	return sum
+}
+
 // NumFlows reports how many endpoint pairs the spec declared.
 func (n *Network) NumFlows() int { return len(n.spec.Flows) }
 

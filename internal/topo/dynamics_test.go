@@ -165,7 +165,7 @@ func TestBuildSeedsDynamicsDeterministically(t *testing.T) {
 	type counters struct{ fwd, drop, wire uint64 }
 	run := func(seed int64) counters {
 		p := runDynWorld(t, seed, dyn, loss, 5*sim.Second)
-		return counters{p.Forwarded, p.Dropped, p.LinkDropped}
+		return counters{p.Forwarded(), p.Dropped, p.LinkDropped}
 	}
 	a, b := run(3), run(3)
 	if a != b {

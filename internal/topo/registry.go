@@ -73,6 +73,11 @@ type ScenarioResult struct {
 	// Events is the number of simulated events the world executed
 	// (sim.Scheduler.Fired), for throughput accounting.
 	Events uint64
+	// Forwarded is the number of packet transmissions the world's ports
+	// performed (Network.Forwarded, summed over every built network).
+	// Events/Forwarded is the events-per-forwarded-packet ratio that the
+	// link-service batching drives down; see ARCHITECTURE.md.
+	Forwarded uint64
 	// Flows is the number of traffic sources the world ran — transport
 	// flows plus cross-traffic noise sources — for fleet-scale
 	// accounting.

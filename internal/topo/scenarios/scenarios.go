@@ -86,7 +86,8 @@ type world struct {
 	warm  sim.Time
 	pool  *netsim.PacketPool
 	arena *exp.Arena
-	flows int // traffic sources started (transports + noise), for fleet accounting
+	flows int             // traffic sources started (transports + noise), for fleet accounting
+	nets  []*topo.Network // every network built into this world, for forwarded-packet accounting
 
 	// Effective fleet-jitter multipliers (1 = nominal); network applies
 	// them to every spec and noiseInto to cross-traffic capacity, so one
@@ -115,7 +116,21 @@ func newWorld(cfg topo.ScenarioConfig, a *exp.Arena) *world {
 // build seed is the uniform SubSeed(cfg.Seed, 2) world tag.
 func (w *world) network(cfg topo.ScenarioConfig, spec topo.Spec) (*topo.Network, error) {
 	spec = topo.ScaleSpec(spec, w.rateScale, w.rttScale, w.lossScale)
-	return topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	net, err := topo.NetworkIn(w.arena, w.sched, spec, sim.SubSeed(cfg.Seed, 2))
+	if net != nil {
+		w.nets = append(w.nets, net)
+	}
+	return net, err
+}
+
+// forwarded sums packet transmissions over every network built into this
+// world — the denominator of the events-per-forwarded-packet ratio.
+func (w *world) forwarded() uint64 {
+	var sum uint64
+	for _, n := range w.nets {
+		sum += n.Forwarded()
+	}
+	return sum
 }
 
 // observeDrops records post-warmup losses at the given ports. Ports fire
@@ -160,13 +175,14 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 			return nil, err
 		}
 		return &topo.ScenarioResult{
-			Report:   rep.Clone(), // detach from the arena's scratch
-			MeanRTT:  meanRTT,
-			Bursts:   bt.Stats(),
-			Drops:    w.rec.Len(),
-			Events:   w.sched.Fired(),
-			Flows:    w.flows,
-			Analyzer: an, // arena-owned; valid until the arena's next use
+			Report:    rep.Clone(), // detach from the arena's scratch
+			MeanRTT:   meanRTT,
+			Bursts:    bt.Stats(),
+			Drops:     w.rec.Len(),
+			Events:    w.sched.Fired(),
+			Forwarded: w.forwarded(),
+			Flows:     w.flows,
+			Analyzer:  an, // arena-owned; valid until the arena's next use
 		}, nil
 	}
 	report, err := analysis.AnalyzeTrace(w.rec, meanRTT, analysis.Config{})
@@ -174,13 +190,14 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 		return nil, err
 	}
 	return &topo.ScenarioResult{
-		Report:  report,
-		Trace:   w.rec,
-		MeanRTT: meanRTT,
-		Bursts:  analysis.SummarizeBursts(w.rec.Events(), meanRTT/4),
-		Drops:   w.rec.Len(),
-		Events:  w.sched.Fired(),
-		Flows:   w.flows,
+		Report:    report,
+		Trace:     w.rec,
+		MeanRTT:   meanRTT,
+		Bursts:    analysis.SummarizeBursts(w.rec.Events(), meanRTT/4),
+		Drops:     w.rec.Len(),
+		Events:    w.sched.Fired(),
+		Forwarded: w.forwarded(),
+		Flows:     w.flows,
 	}, nil
 }
 
@@ -290,6 +307,7 @@ func runDumbbell(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, e
 		Buffer:         buffer,
 	})
 	d.AttachPool(w.pool)
+	w.nets = append(w.nets, d.Net)
 	w.observeDrops(d.Forward)
 	w.startFlows(d.Net, cfg, float64(buffer), 2*sim.Second)
 
