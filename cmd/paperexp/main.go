@@ -71,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		xecn     = fs.Bool("xecn", false, "run the ECN coverage extension")
 		xtrace   = fs.Bool("xtrace", false, "run the TCP-trace methodology comparison")
 		xshow    = fs.Bool("xshowdown", false, "run the loss-based vs delay-based controller showdown")
+		xxfer    = fs.Bool("xtransfers", false, "run the reliable-file-transfer FCT experiment")
 		scenario = fs.String("scenario", "", "registered topology scenarios to run, comma-separated; \"all\" runs the catalog, \"list\" prints it")
 		seed     = fs.Int64("seed", 1, "experiment seed")
 		quick    = fs.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
@@ -184,6 +185,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	add(*all || *xecn, "Extension: ECN signal coverage", e.ecn)
 	add(*all || *xtrace, "Future work: TCP-trace methodology", e.tcptrace)
 	add(*all || *xshow, "Extension: loss-based vs delay-based showdown", e.showdown)
+	add(*all || *xxfer, "Extension: reliable-file-transfer FCT", e.transfers)
 	for _, name := range scenarioNames {
 		sc, _ := topo.Lookup(name)
 		add(true, "Scenario: "+sc.Name, func(w io.Writer) (uint64, error) { return e.scenario(w, sc) })
@@ -481,6 +483,22 @@ func (e *executor) showdown(w io.Writer) (uint64, error) {
 		return 0, err
 	}
 	return res.Events, core.WriteShowdown(w, res)
+}
+
+// transfers runs the reliable-file-transfer experiment: every RFT
+// scenario replicated across derived seeds, reported as the merged
+// flow-completion-time distribution (p50/p95/p99), per-transfer goodput
+// and retransmission ratio.
+func (e *executor) transfers(w io.Writer) (uint64, error) {
+	res, err := core.SweepTransfers(topo.ScenarioConfig{
+		Seed:     e.seed,
+		Duration: e.dur(120*sim.Second, 30*sim.Second),
+		Warmup:   5 * sim.Second,
+	}, e.sweepOpts())
+	if err != nil {
+		return 0, err
+	}
+	return res.Events, core.WriteTransfers(w, res)
 }
 
 func (e *executor) tcptrace(w io.Writer) (uint64, error) {

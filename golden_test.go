@@ -47,8 +47,8 @@ func renderGolden(name string, res *core.ScenarioResult) string {
 // intended and explained).
 func TestScenarioLossGoldens(t *testing.T) {
 	names := topo.Names()
-	if len(names) < 9 {
-		t.Fatalf("scenario registry has %d entries, want at least the 9 catalog scenarios", len(names))
+	if len(names) < 11 {
+		t.Fatalf("scenario registry has %d entries, want at least the 11 catalog scenarios", len(names))
 	}
 	for _, name := range names {
 		name := name

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/apps/rft"
 	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -120,6 +121,10 @@ type FleetReport struct {
 	KSExact   bool
 	// Bursts pools the per-world RTT-clustered loss bursts.
 	Bursts analysis.BurstStats
+	// Transfers pools the reliable-file-transfer outcomes of every merged
+	// world that ran FlowRFT flows (nil when none did): the FCT sample and
+	// moments a fleet reports percentiles over millions of transfers from.
+	Transfers *rft.TransferAgg
 	// CoVMin and CoVMax bound the per-world CoV across merged worlds —
 	// the spread the pooled CoV summarizes.
 	CoVMin, CoVMax float64
@@ -161,6 +166,14 @@ func (r *FleetReport) Fingerprint() string {
 		r.Bursts.Bursts, r.Bursts.MeanSize, r.Bursts.MeanFlows, r.Bursts.MaxSize, r.Bursts.SingletonFrac)
 	fmt.Fprintf(&b, "hist=%d:%016x intervals=%d:%016x\n",
 		a.Hist.Total(), hh, len(a.Intervals), ih)
+	if t := r.Transfers; t != nil {
+		var sh uint64 = 14695981039346656037
+		for _, v := range t.Sample.Items() {
+			sh = foldFloat(sh, v)
+		}
+		fmt.Fprintf(&b, "transfers=%d bytes=%d fctmean=%v sent=%d retrans=%d sample=%d:%016x\n",
+			t.Transfers, t.Bytes, t.FCT.Mean, t.Sent, t.Retransmitted, len(t.Sample.Items()), sh)
+	}
 	return b.String()
 }
 
@@ -232,6 +245,14 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 				return fmt.Errorf("core: world %d (%s): %w", i, scs[i%len(scs)].Name, err)
 			}
 			bursts.Add(v.Bursts)
+			// Transfer aggregates are detached values; the world-order
+			// turnstile makes this merge shard-invariant like the rest.
+			if v.Transfers != nil {
+				if rep.Transfers == nil {
+					rep.Transfers = rft.NewTransferAgg()
+				}
+				rep.Transfers.Merge(v.Transfers)
+			}
 			rep.Worlds++
 			rep.Flows += v.Flows
 			rep.Drops += v.Drops
@@ -282,6 +303,14 @@ func WriteFleet(w io.Writer, r *FleetReport) error {
 		r.Bursts.Bursts, r.Bursts.MeanSize, r.Bursts.MeanFlows,
 		r.Bursts.MaxSize, r.Bursts.SingletonFrac); err != nil {
 		return err
+	}
+	if t := r.Transfers; t != nil {
+		if _, err := fmt.Fprintf(w,
+			"# transfers=%d fct_p50=%.0fms fct_p95=%.0fms fct_p99=%.0fms goodput=%.2fMbps retrans_ratio=%.4f\n",
+			t.Transfers, t.FCTQuantile(0.50)*1e3, t.FCTQuantile(0.95)*1e3, t.FCTQuantile(0.99)*1e3,
+			t.Goodput.Mean/1e6, t.RetransRatio()); err != nil {
+			return err
+		}
 	}
 	for _, s := range r.SkipSamples {
 		if _, err := fmt.Fprintf(w, "# skipped: %s\n", s); err != nil {

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// transfersCfg is long enough past warmup for every RFT scenario to
+// complete several files per replication.
+var transfersCfg = topo.ScenarioConfig{
+	Seed:     5,
+	Duration: 25 * sim.Second,
+	Warmup:   3 * sim.Second,
+}
+
+// TestTransfersSweep pins the experiment's shape: one row per registered
+// RFT scenario, each with completed transfers, an ordered FCT
+// distribution and a positive goodput.
+func TestTransfersSweep(t *testing.T) {
+	t.Parallel()
+	res, err := SweepTransfers(transfersCfg, SweepOptions{Replications: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("rows = %d, want at least rft-fleet-dumbbell and rft-wifi", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Agg.Transfers == 0 {
+			t.Errorf("%s: no transfers completed", row.Scenario)
+		}
+		p50, p95, p99 := row.Agg.FCTQuantile(0.50), row.Agg.FCTQuantile(0.95), row.Agg.FCTQuantile(0.99)
+		if p50 <= 0 || p50 > p95 || p95 > p99 {
+			t.Errorf("%s: FCT quantiles not ordered: p50=%v p95=%v p99=%v", row.Scenario, p50, p95, p99)
+		}
+		if row.Agg.Goodput.Mean <= 0 {
+			t.Errorf("%s: non-positive mean goodput %v", row.Scenario, row.Agg.Goodput.Mean)
+		}
+	}
+}
+
+// TestTransfersWorkerInvariance: the transfer sweep is a pure function of
+// (cfg, Replications) regardless of how many workers ran it — the merged
+// FCT aggregates, reservoir samples included, must match exactly.
+func TestTransfersWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	seq, err := SweepTransfers(transfersCfg, SweepOptions{Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepTransfers(transfersCfg, SweepOptions{Replications: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("transfer sweep depends on worker count:\n%+v\nvs\n%+v", seq, par)
+	}
+}
+
+// TestWriteTransfers pins the artifact's shape: a header plus one row per
+// RFT scenario carrying the FCT percentiles.
+func TestWriteTransfers(t *testing.T) {
+	t.Parallel()
+	res, err := SweepTransfers(transfersCfg, SweepOptions{Replications: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTransfers(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fct-p50", "fct-p99", "rft-wifi", "rft-fleet-dumbbell", "Mbps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("artifact missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "rft-"); got < 2 {
+		t.Fatalf("scenario rows = %d, want at least 2", got)
+	}
+}

@@ -70,6 +70,61 @@ type Packet struct {
 	HasRateFB bool
 	// RateFB is the delay-based receiver report (valid iff HasRateFB).
 	RateFB RateFeedback
+
+	// HasRFTAck marks a Feedback packet as carrying a reliable-file-transfer
+	// client report in RFTAck (internal/apps/rft). Embedded by value like
+	// RateFB, with a fixed-size resend-entry array, so the periodic client
+	// ACK stream stays allocation-free on pooled packets.
+	HasRFTAck bool
+	// RFTAck is the file-transfer client report (valid iff HasRFTAck).
+	RFTAck RFTFeedback
+}
+
+// RFTResendEntries is the resend-entry capacity of one client ACK. A real
+// NACK report is size-bounded the same way (it must fit one datagram);
+// gaps beyond the bound are simply re-reported on later ACKs, since the
+// receiver re-derives its missing set from the chunk ledger every tick.
+const RFTResendEntries = 8
+
+// RFTRange is one missing-chunk run [Start, End) in a client ACK.
+type RFTRange struct {
+	Start, End int64
+}
+
+// RFTFeedback is the periodic client report of the reliable file transfer
+// application (internal/apps/rft), modeled on the rftp protocol: a
+// monotone report number for stale-report rejection, a cumulative ACK
+// (lowest chunk not yet received), a bounded list of missing-chunk ranges
+// (the resend entries), and the echo timestamps the sender's RTT estimate
+// needs.
+type RFTFeedback struct {
+	// Epoch is the transfer generation the report belongs to. Restarting
+	// a flow for its next transfer bumps the epoch on both endpoints, so
+	// an ACK still in flight from the previous transfer is recognizably
+	// stale (chunk packets carry the epoch in Packet.Ack for the same
+	// reason).
+	Epoch int64
+	// AckSeq is the monotone report number; the sender ignores reports
+	// arriving out of order and decrements its AIMD cool-off by the
+	// AckSeq delta, per the rftp AIMD.
+	AckSeq int64
+	// NextNeeded is the cumulative ACK: every chunk below it has been
+	// received.
+	NextNeeded int64
+	// Received is the count of distinct chunks received so far.
+	Received int64
+	// Complete reports that every chunk of the transfer has arrived.
+	Complete bool
+	// NumResend is the number of valid entries in Resend.
+	NumResend int
+	// Resend lists up to RFTResendEntries missing-chunk ranges between
+	// NextNeeded and the highest chunk seen.
+	Resend [RFTResendEntries]RFTRange
+	// Timestamp is the send time of the newest data chunk seen and Delay
+	// the report's lag behind that arrival, for the sender's RTT estimate
+	// (same convention as RateFeedback).
+	Timestamp sim.Time
+	Delay     sim.Duration
 }
 
 // RateFeedback is the receiver report of the delay-based congestion

@@ -1,0 +1,116 @@
+package ratectl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzInterArrival drives the packet grouper with an arbitrary arrival
+// stream — jittered send spacing (including out-of-order timestamps
+// inside and around the burst window) — and checks its structural
+// invariants: no panic, completed-group deltas always move forward in
+// send time, and splitting any packet into same-timestamp fragments
+// leaves the emitted delta stream identical (the property
+// TestGroupingFragmentationInvariant pins for one handcrafted trace,
+// here under adversarial spacing).
+func FuzzInterArrival(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 9, 3, 2, 1, 1, 200, 11, 0, 40})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{255, 0, 255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var whole, frag InterArrival
+		var wholeDeltas, fragDeltas []GroupDelta
+		send := sim.Time(sim.Second)
+		for i := 0; i+2 < len(data); i += 3 {
+			// Send spacing -2..+9 ms: negative steps exercise the
+			// out-of-order path, steps past 5 ms open new groups.
+			send += sim.Time(sim.Duration(int(data[i]%12)-2) * sim.Millisecond)
+			// One-way delay 10..17 ms, uncorrelated with send order, so
+			// arrivals reorder freely.
+			arrival := send + sim.Time(10*sim.Millisecond+sim.Duration(data[i+1]%8)*sim.Millisecond)
+			size := int(data[i+2]) + 1
+			if d, ok := whole.Add(send, arrival, size); ok {
+				if d.SendDelta <= 0 {
+					t.Fatalf("completed group moved backward in send time: %+v", d)
+				}
+				wholeDeltas = append(wholeDeltas, d)
+			}
+			// The same packet as two same-timestamp fragments.
+			half := size / 2
+			for _, sz := range []int{half, size - half} {
+				if sz == 0 {
+					continue
+				}
+				if d, ok := frag.Add(send, arrival, sz); ok {
+					fragDeltas = append(fragDeltas, d)
+				}
+			}
+		}
+		if len(wholeDeltas) != len(fragDeltas) {
+			t.Fatalf("fragmentation changed the group count: %d whole vs %d fragmented",
+				len(wholeDeltas), len(fragDeltas))
+		}
+		for i := range wholeDeltas {
+			if wholeDeltas[i] != fragDeltas[i] {
+				t.Fatalf("delta %d differs under fragmentation:\nwhole: %+v\nfrag:  %+v",
+					i, wholeDeltas[i], fragDeltas[i])
+			}
+		}
+	})
+}
+
+// FuzzAIMDController drives the remote-rate controller with arbitrary
+// verdict/receive-rate/clock sequences — including unknown receive rates,
+// clock stalls, backward time steps and mid-stream resets — and checks
+// that the target rate always stays finite and inside [min, max].
+func FuzzAIMDController(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 50, 1, 255, 255, 10, 2, 0, 0, 250})
+	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2, 0, 0, 0, 0})
+	f.Add([]byte{155, 31, 0, 0, 9, 8, 7, 6, 5, 4, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			minRate = 10_000.0
+			maxRate = 5_000_000.0
+		)
+		c := NewAIMDController(100_000, minRate, maxRate)
+		now := sim.Time(sim.Second)
+		for i := 0; i+3 < len(data); i += 4 {
+			var verdict State
+			switch data[i] % 3 {
+			case 0:
+				verdict = StateNormal
+			case 1:
+				verdict = StateOveruse
+			case 2:
+				verdict = StateUnderuse
+			}
+			// Receive rate 0..6.5 MB/s; a slice of the space reports the
+			// rate as unknown (<= 0).
+			recv := float64(uint(data[i+1])|uint(data[i+2])<<8) * 100
+			if data[i+1]%7 == 0 {
+				recv = -recv
+			}
+			switch {
+			case data[i+3] == 255:
+				// Clock glitch: time runs backward.
+				now -= sim.Time(50 * sim.Millisecond)
+			case data[i+3] == 254:
+				c.Reset(100_000, minRate, maxRate)
+			default:
+				now += sim.Time(sim.Duration(data[i+3]%200) * sim.Millisecond)
+			}
+			rate := c.Update(verdict, recv, now)
+			if math.IsNaN(rate) || math.IsInf(rate, 0) {
+				t.Fatalf("step %d: rate not finite: %v", i/4, rate)
+			}
+			if rate < minRate || rate > maxRate {
+				t.Fatalf("step %d: rate %v escaped [%v, %v]", i/4, rate, minRate, maxRate)
+			}
+			if rate != c.Rate() {
+				t.Fatalf("step %d: Update returned %v but Rate() reports %v", i/4, rate, c.Rate())
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/apps/rft"
 	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -89,6 +90,11 @@ type ScenarioResult struct {
 	// goroutine before the arena is recycled. Everything else in the
 	// result is detached and safe to retain.
 	Analyzer *analysis.Streaming
+	// Transfers aggregates the run's reliable-file-transfer outcomes
+	// (flow completion times, goodput, retransmission totals); nil for
+	// scenarios without FlowRFT flows. Unlike Analyzer it is freshly
+	// allocated per run — detached and safe to retain or merge.
+	Transfers *rft.TransferAgg
 }
 
 // Scenario is one registered topology/workload combination.

@@ -1,0 +1,85 @@
+package scenarios
+
+// The reliable-file-transfer scenarios: the wifi-gilbert shape and a
+// lossy static dumbbell re-registered with every flow running the
+// internal/apps/rft transfer application in back-to-back mode. These are
+// the worlds behind core.SweepTransfers and the fleet's FCT aggregate:
+// each completed transfer contributes one flow-completion-time sample to
+// the run's mergeable rft.TransferAgg, so burst losses show up as the FCT
+// tail the paper's Poisson-loss null model cannot produce.
+
+import (
+	"repro/internal/exp"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func init() {
+	register("rft-wifi",
+		"wifi-gilbert world with every flow running back-to-back reliable file transfers",
+		"wifi-gilbert shape, 8 RFT flows sharing the walking wireless hop (GE bursts)",
+		"frac < 0.01 RTT ≈ 0.88, CoV ≈ 10",
+		runRFTWifi)
+	register("rft-fleet-dumbbell",
+		"lossy static dumbbell with every flow running back-to-back reliable file transfers",
+		"8 RFT pairs → 40 Mbps hop with Gilbert–Elliott wire loss (~0.8% mean)",
+		"frac < 0.01 RTT ≈ 0.86, CoV ≈ 4",
+		runRFTFleetDumbbell)
+}
+
+// TransferScenarios lists the registered scenario names whose worlds run
+// FlowRFT flows — the set core.SweepTransfers iterates.
+func TransferScenarios() []string {
+	return []string{"rft-fleet-dumbbell", "rft-wifi"}
+}
+
+// markRFT flags every flow as a reliable-file-transfer application.
+func markRFT(spec *topo.Spec) {
+	for i := range spec.Flows {
+		spec.Flows[i].Kind = topo.FlowRFT
+	}
+}
+
+// runRFTWifi is the wifi-gilbert world with every pair moving files: the
+// walking wireless rate and the Gilbert–Elliott burst eraser turn into
+// resend entries, repair rounds and a heavy FCT tail.
+func runRFTWifi(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
+	cfg.FillDefaults()
+	w := newWorld(cfg, a)
+	spec, buffer := wifiSpec(cfg, "rft-wifi")
+	markRFT(&spec)
+	return runDynamicPath(w, cfg, spec, buffer, wifiNomRate, wifiNoiseFraction)
+}
+
+// rftDumbbellRate is the fleet dumbbell's middle-hop capacity.
+const rftDumbbellRate = 40_000_000
+
+// runRFTFleetDumbbell is the fleet workhorse: a static dumbbell whose
+// middle hop carries a sticky Gilbert–Elliott wire-loss chain with a
+// ~0.8% stationary loss rate (mean 5-packet bad dwell, 80% erasure when
+// bad). The wire loss guarantees a loss process at any run length the
+// fleet smoke uses, independent of whether the AIMD transfers congest
+// the queue.
+func runRFTFleetDumbbell(cfg topo.ScenarioConfig, a *exp.Arena) (*topo.ScenarioResult, error) {
+	cfg.FillDefaults()
+	const (
+		pairs    = 8
+		hopDelay = 5 * sim.Millisecond
+	)
+	w := newWorld(cfg, a)
+	rng := sim.NewRand(sim.SubSeed(cfg.Seed, 1))
+	delays := netsim.RandomAccessDelays(rng, pairs, 2*sim.Millisecond, 80*sim.Millisecond)
+
+	var meanRTT sim.Duration
+	for _, d := range delays {
+		meanRTT += 2 * (d + hopDelay)
+	}
+	meanRTT /= pairs
+	buffer := bufferFor(rftDumbbellRate, meanRTT, cfg.PktSize)
+
+	spec := dynamicPath("rft-fleet-dumbbell", delays, rftDumbbellRate, hopDelay, buffer,
+		nil, &topo.LossSpec{PGB: 0.002, PBG: 0.2, KGood: 0, KBad: 0.8})
+	markRFT(&spec)
+	return runDynamicPath(w, cfg, spec, buffer, rftDumbbellRate, 0.15)
+}

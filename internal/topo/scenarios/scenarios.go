@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/apps/rft"
 	"repro/internal/crosstraffic"
 	"repro/internal/exp"
 	"repro/internal/netsim"
@@ -88,6 +89,11 @@ type world struct {
 	arena *exp.Arena
 	flows int             // traffic sources started (transports + noise), for fleet accounting
 	nets  []*topo.Network // every network built into this world, for forwarded-packet accounting
+
+	// Reliable-file-transfer accounting: the per-world FCT aggregate and
+	// the flows whose run totals fold into it when the world finishes.
+	transfers *rft.TransferAgg
+	rftFlows  []*rft.Flow
 
 	// Effective fleet-jitter multipliers (1 = nominal); network applies
 	// them to every spec and noiseInto to cross-traffic capacity, so one
@@ -166,6 +172,11 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 		}, false)
 	}
 	w.sched.RunUntil(sim.Time(cfg.Duration))
+	// Fold the run totals of every transfer flow into the world's FCT
+	// aggregate (completions were observed online by trackTransfers).
+	for _, f := range w.rftFlows {
+		w.transfers.AddFlowTotals(f)
+	}
 	if w.rec.Len() < 2 {
 		return nil, fmt.Errorf("scenarios: %s produced %d drops; increase duration or load", name, w.rec.Len())
 	}
@@ -183,6 +194,7 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 			Forwarded: w.forwarded(),
 			Flows:     w.flows,
 			Analyzer:  an, // arena-owned; valid until the arena's next use
+			Transfers: w.transfers,
 		}, nil
 	}
 	report, err := analysis.AnalyzeTrace(w.rec, meanRTT, analysis.Config{})
@@ -198,6 +210,7 @@ func (w *world) finish(name string, cfg topo.ScenarioConfig, meanRTT sim.Duratio
 		Events:    w.sched.Fired(),
 		Forwarded: w.forwarded(),
 		Flows:     w.flows,
+		Transfers: w.transfers,
 	}, nil
 }
 
@@ -211,6 +224,18 @@ func (w *world) startFlows(net *topo.Network, cfg topo.ScenarioConfig, ssthresh 
 	for i := 0; i < n; i++ {
 		at := sim.Time(sim.Duration(i) * spread / sim.Duration(n))
 		switch net.Flow(i).Kind {
+		case topo.FlowRFT:
+			f := rft.NewFlow(net.Sched, net.FlowSender(i), net.FlowReceiver(i), i+1, rft.Config{
+				ChunkSize:  cfg.PktSize,
+				Chunks:     rftFileChunks,
+				InitialRTT: net.FlowRTT(i),
+				// Per-flow branch of the scenario's seed chain, offset past
+				// the world/noise tags (same scheme as the GCC flows).
+				Seed: sim.SubSeed(cfg.Seed, int64(1000+i)),
+				Pool: w.pool,
+			})
+			w.trackTransfers(f)
+			f.StartAt(net.Sched, at)
 		case topo.FlowGCC:
 			f := ratectl.NewGCCFlow(net.Sched, net.FlowSender(i), net.FlowReceiver(i), i+1, ratectl.GCCConfig{
 				PktSize:    cfg.PktSize,
@@ -233,6 +258,29 @@ func (w *world) startFlows(net *topo.Network, cfg topo.ScenarioConfig, ssthresh 
 			})
 			f.StartAt(net.Sched, at)
 		}
+	}
+}
+
+// rftFileChunks is the per-transfer file length in chunks for registered
+// RFT scenarios: at the default 1000-byte chunks each transfer moves
+// ~512 KB, several seconds at megabit rates, so a golden-length run
+// completes a handful of back-to-back transfers per flow.
+const rftFileChunks = 512
+
+// trackTransfers folds a transfer flow into the world's FCT aggregate:
+// every post-warmup completion is observed and the flow restarts for the
+// next back-to-back transfer; run totals fold in when the world finishes.
+func (w *world) trackTransfers(f *rft.Flow) {
+	if w.transfers == nil {
+		w.transfers = rft.NewTransferAgg()
+	}
+	w.rftFlows = append(w.rftFlows, f)
+	bytes := f.Sender.TransferBytes()
+	f.Sender.OnComplete = func(at sim.Time) {
+		if at >= w.warm {
+			w.transfers.ObserveFCT(f.FCT(), bytes)
+		}
+		f.Restart()
 	}
 }
 

@@ -127,6 +127,10 @@ const (
 	FlowTCP FlowKind = iota
 	// FlowGCC is the delay-based GCC-style transport from internal/ratectl.
 	FlowGCC
+	// FlowRFT is the reliable-file-transfer application from
+	// internal/apps/rft: back-to-back chunked transfers with NACK/
+	// resend-entry client ACKs and cool-off-gated AIMD.
+	FlowRFT
 
 	flowKindCount // bound for validation
 )
@@ -137,6 +141,8 @@ func (k FlowKind) String() string {
 		return "tcp"
 	case FlowGCC:
 		return "gcc"
+	case FlowRFT:
+		return "rft"
 	default:
 		return "unknown"
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/apps/rft"
 	"repro/internal/exp"
 	"repro/internal/ratectl"
 	"repro/internal/sim"
@@ -191,6 +192,116 @@ func TestGCCResetRateTrace(t *testing.T) {
 	}
 	if strings.Count(fresh, "\n") < 100 {
 		t.Fatalf("trace too short to pin anything:\n%s", fresh)
+	}
+	a := exp.NewArena()
+	flows, first, err := run(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != fresh {
+		t.Fatalf("cold run on shared arena diverged from reference:\n%s", diffSummary(fresh, first))
+	}
+	_, second, err := run(a, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != fresh {
+		t.Fatalf("reset replay diverged from cold build:\n%s", diffSummary(fresh, second))
+	}
+}
+
+// TestRFTResetTransferTrace pins the reliable-file-transfer reset contract
+// the same way TestGCCResetRateTrace pins the delay-based transport's:
+// replaying the same seed through a cached world with the flows rewound
+// via rft.Flow.ResetPair must reproduce a cold build's transfer trace —
+// every applied rate change, every completion instant with its epoch, and
+// the final sender/receiver counters — byte for byte. Any transfer state
+// that survives a reset (ledger bits, resend schedule, suppression
+// clocks, epoch, AIMD phase, ACK jitter phase) diverges here.
+func TestRFTResetTransferTrace(t *testing.T) {
+	t.Parallel()
+	const seed = 11
+	spec := topo.Spec{Name: "rft-reset-trace"}
+	spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: "left"}, topo.NodeSpec{Name: "right"})
+	spec.Links = append(spec.Links, topo.LinkSpec{
+		A: "left", B: "right",
+		AB: topo.Dir{
+			Rate: 8_000_000, Delay: 10 * sim.Millisecond,
+			Queue:    topo.QueueSpec{Limit: 30},
+			Dynamics: &topo.DynamicsSpec{Walk: &topo.WalkSpec{Min: 4_000_000, Max: 12_000_000, Factor: 1.3, Interval: 200 * sim.Millisecond}},
+			Loss:     &topo.LossSpec{PGB: 0.005, PBG: 0.25, KGood: 0, KBad: 0.9},
+		},
+		BA: topo.Dir{Rate: 8_000_000, Delay: 10 * sim.Millisecond, Queue: topo.QueueSpec{Limit: topo.DefaultQueueLimit}},
+	})
+	for i := 0; i < 2; i++ {
+		snd, rcv := fmt.Sprintf("s%d", i), fmt.Sprintf("r%d", i)
+		spec.Nodes = append(spec.Nodes, topo.NodeSpec{Name: snd}, topo.NodeSpec{Name: rcv})
+		access := topo.Dir{Rate: 1_000_000_000, Delay: sim.Duration(2+2*i) * sim.Millisecond}
+		spec.Links = append(spec.Links,
+			topo.LinkSpec{A: snd, B: "left", AB: access},
+			topo.LinkSpec{A: "right", B: rcv, AB: access},
+		)
+		spec.Flows = append(spec.Flows, topo.FlowSpec{From: snd, To: rcv, Kind: topo.FlowRFT})
+	}
+
+	rftCfg := func(net *topo.Network, a *exp.Arena, i int) rft.Config {
+		return rft.Config{
+			ChunkSize:  1000,
+			Chunks:     256,
+			InitialRTT: net.FlowRTT(i),
+			Seed:       sim.SubSeed(seed, int64(1000+i)),
+			Pool:       a.Pool(),
+		}
+	}
+	// run executes one replay on the arena, creating flows on the first
+	// call and rewinding them with ResetPair afterwards, and returns the
+	// concatenated transfer traces of both flows: rate changes,
+	// completions (back-to-back via Restart) and final counters.
+	run := func(a *exp.Arena, flows []*rft.Flow) ([]*rft.Flow, string, error) {
+		sched := a.Scheduler()
+		net, err := topo.NetworkIn(a, sched, spec, sim.SubSeed(seed, 2))
+		if err != nil {
+			return flows, "", err
+		}
+		net.AttachPool(a.Pool())
+		var trace strings.Builder
+		for i := 0; i < net.NumFlows(); i++ {
+			if flows == nil || flows[i] == nil {
+				if flows == nil {
+					flows = make([]*rft.Flow, net.NumFlows())
+				}
+				flows[i] = rft.NewFlow(sched, net.FlowSender(i), net.FlowReceiver(i), i+1, rftCfg(net, a, i))
+			} else {
+				flows[i].ResetPair(net.FlowSender(i), net.FlowReceiver(i), i+1, rftCfg(net, a, i))
+			}
+			i := i
+			f := flows[i]
+			f.Sender.OnRate = func(rate float64, at sim.Time) {
+				fmt.Fprintf(&trace, "rate %d %d %.9f\n", i, int64(at), rate)
+			}
+			f.Sender.OnComplete = func(at sim.Time) {
+				fmt.Fprintf(&trace, "done %d %d epoch=%d fct=%d\n", i, int64(at), f.Sender.Epoch(), int64(f.FCT()))
+				f.Restart()
+			}
+			f.StartAt(sched, sim.Time(sim.Duration(i)*250*sim.Millisecond))
+		}
+		sched.RunUntil(sim.Time(10 * sim.Second))
+		for i, f := range flows {
+			fmt.Fprintf(&trace, "flow %d sent=%d retrans=%d probes=%d acks=%d stale=%d dec=%d in=%d dup=%d staled=%d out=%d xfers=%d\n",
+				i, f.Sender.Sent, f.Sender.Retransmitted, f.Sender.TailProbes,
+				f.Sender.AcksIn, f.Sender.StaleAcks, f.Sender.Decreases,
+				f.Receiver.DataIn, f.Receiver.Duplicates, f.Receiver.StaleData,
+				f.Receiver.AcksOut, f.Receiver.Transfers)
+		}
+		return flows, trace.String(), nil
+	}
+
+	_, fresh, err := run(exp.NewArena(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fresh, "done ") || strings.Count(fresh, "\n") < 100 {
+		t.Fatalf("trace pins nothing (no completions or too short):\n%s", fresh)
 	}
 	a := exp.NewArena()
 	flows, first, err := run(a, nil)
